@@ -1,0 +1,367 @@
+package staticest_test
+
+import (
+	"testing"
+
+	"staticest"
+	"staticest/internal/core"
+	"staticest/internal/eval"
+	"staticest/internal/metric"
+	"staticest/internal/suite"
+)
+
+// The benchmarks below regenerate every table and figure in the paper's
+// evaluation (see DESIGN.md's per-experiment index). Scores are attached
+// via b.ReportMetric, so `go test -bench=.` reports both the cost of
+// regenerating an experiment and its headline result.
+
+func loadSuite(b *testing.B) []*eval.ProgramData {
+	b.Helper()
+	data, err := eval.LoadSuiteCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func BenchmarkTable1Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := eval.Table1(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Strchr(b *testing.B) {
+	var score20 float64
+	for i := 0; i < b.N; i++ {
+		_, est, actual, err := eval.StrchrData()
+		if err != nil {
+			b.Fatal(err)
+		}
+		score20 = metric.WeightMatch(est.IntraSmart[0].BlockFreq, actual, 0.20)
+	}
+	b.ReportMetric(score20*100, "score20%")
+}
+
+func BenchmarkFigure2BranchMissRates(b *testing.B) {
+	data := loadSuite(b)
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure2(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Smart
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg, "miss%")
+}
+
+func BenchmarkFigure4Intra(b *testing.B) {
+	data := loadSuite(b)
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure4(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Smart
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg, "smart%")
+}
+
+func benchFigure5(b *testing.B, cutoff float64) {
+	data := loadSuite(b)
+	var direct, markov float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure5(data, cutoff)
+		if err != nil {
+			b.Fatal(err)
+		}
+		direct, markov = 0, 0
+		for _, r := range rows {
+			direct += r.Direct
+			markov += r.Markov
+		}
+		direct /= float64(len(rows))
+		markov /= float64(len(rows))
+	}
+	b.ReportMetric(direct, "direct%")
+	b.ReportMetric(markov, "markov%")
+}
+
+func BenchmarkFigure5aInvocationSimple(b *testing.B) {
+	data := loadSuite(b)
+	var callSite float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure5(data, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		callSite = 0
+		for _, r := range rows {
+			callSite += r.CallSite
+		}
+		callSite /= float64(len(rows))
+	}
+	b.ReportMetric(callSite, "call_site%")
+}
+
+func BenchmarkFigure5bInvocation10(b *testing.B) { benchFigure5(b, 0.10) }
+func BenchmarkFigure5cInvocation25(b *testing.B) { benchFigure5(b, 0.25) }
+
+func BenchmarkFigure7MarkovSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9CallSites(b *testing.B) {
+	data := loadSuite(b)
+	var markov float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure9(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		markov = 0
+		for _, r := range rows {
+			markov += r.Markov
+		}
+		markov /= float64(len(rows))
+	}
+	b.ReportMetric(markov, "markov%")
+}
+
+func BenchmarkFigure10SelectiveOpt(b *testing.B) {
+	data := loadSuite(b)
+	var compress *eval.ProgramData
+	for _, d := range data {
+		if d.Prog.Name == "compress" {
+			compress = d
+		}
+	}
+	var knee float64
+	for i := 0; i < b.N; i++ {
+		curves, err := eval.Figure10(compress, 0.55)
+		if err != nil {
+			b.Fatal(err)
+		}
+		knee = curves[0].Speedups[6] // static estimate at k=6
+	}
+	b.ReportMetric(knee, "speedup@6")
+}
+
+// --- ablation benches (DESIGN.md section 5) --------------------------------
+
+// ablationScore recomputes estimates for the whole suite under conf and
+// returns the average Markov invocation score at 25%.
+func ablationScore(b *testing.B, conf core.Config) float64 {
+	data := loadSuite(b)
+	total := 0.0
+	for _, d := range data {
+		est := d.Unit.EstimateWith(conf)
+		// Score the Markov invocation estimate against each profile.
+		progTotal := 0.0
+		for _, p := range d.Profiles {
+			progTotal += metric.WeightMatch(est.InterMarkov.Inv, p.FuncCalls, 0.25)
+		}
+		total += progTotal / float64(len(d.Profiles))
+	}
+	return total / float64(len(data)) * 100
+}
+
+func BenchmarkAblationSwitchWeighting(b *testing.B) {
+	var byLabels, equal float64
+	for i := 0; i < b.N; i++ {
+		conf := core.DefaultConfig()
+		byLabels = ablationScore(b, conf)
+		conf.SwitchWeightByLabels = false
+		equal = ablationScore(b, conf)
+	}
+	b.ReportMetric(byLabels, "bylabels%")
+	b.ReportMetric(equal, "equal%")
+}
+
+func BenchmarkAblationBranchProbability(b *testing.B) {
+	probs := []float64{0.6, 0.7, 0.8, 0.9}
+	scores := make([]float64, len(probs))
+	for i := 0; i < b.N; i++ {
+		for j, p := range probs {
+			conf := core.DefaultConfig()
+			conf.TakenProb = p
+			scores[j] = ablationScore(b, conf)
+		}
+	}
+	for j, p := range probs {
+		b.ReportMetric(scores[j], formatProbMetric(p))
+	}
+}
+
+func formatProbMetric(p float64) string {
+	return "p" + string('0'+byte(p*10)) + "0%"
+}
+
+func BenchmarkAblationLoopCount(b *testing.B) {
+	counts := []float64{2, 5, 10, 20}
+	scores := make([]float64, len(counts))
+	for i := 0; i < b.N; i++ {
+		for j, n := range counts {
+			conf := core.DefaultConfig()
+			conf.LoopCount = n
+			scores[j] = ablationScore(b, conf)
+		}
+	}
+	names := []string{"loop2%", "loop5%", "loop10%", "loop20%"}
+	for j := range counts {
+		b.ReportMetric(scores[j], names[j])
+	}
+}
+
+func BenchmarkAblationRecursionCeiling(b *testing.B) {
+	ceilings := []float64{2, 5, 10}
+	scores := make([]float64, len(ceilings))
+	for i := 0; i < b.N; i++ {
+		for j, c := range ceilings {
+			conf := core.DefaultConfig()
+			conf.SCCCeiling = c
+			scores[j] = ablationScore(b, conf)
+		}
+	}
+	names := []string{"ceil2%", "ceil5%", "ceil10%"}
+	for j := range ceilings {
+		b.ReportMetric(scores[j], names[j])
+	}
+}
+
+func BenchmarkAblationHeuristics(b *testing.B) {
+	// Disable one heuristic at a time and report the branch miss rate.
+	data := loadSuite(b)
+	heuristics := []string{"pointer", "call", "opcode", "logical", "store", "return"}
+	missWith := func(disabled string) float64 {
+		total := 0.0
+		for _, d := range data {
+			conf := core.DefaultConfig()
+			if disabled != "" {
+				conf.DisabledHeuristics = map[string]bool{disabled: true}
+			}
+			est := d.Unit.EstimateWith(conf)
+			dirs := make([]bool, len(est.Pred.Branch))
+			skip := make([]bool, len(est.Pred.Branch))
+			for i, bp := range est.Pred.Branch {
+				dirs[i] = bp.Taken()
+				skip[i] = bp.Constant
+			}
+			progMiss := 0.0
+			for _, p := range d.Profiles {
+				progMiss += metric.MissRate(dirs, p.BranchTaken, p.BranchNot, skip)
+			}
+			total += progMiss / float64(len(d.Profiles))
+		}
+		return total / float64(len(data)) * 100
+	}
+	var baseline float64
+	drops := make([]float64, len(heuristics))
+	for i := 0; i < b.N; i++ {
+		baseline = missWith("")
+		for j, h := range heuristics {
+			drops[j] = missWith(h)
+		}
+	}
+	b.ReportMetric(baseline, "all%")
+	for j, h := range heuristics {
+		b.ReportMetric(drops[j], "no_"+h+"%")
+	}
+}
+
+// --- micro-benchmarks of the pipeline stages --------------------------------
+
+func BenchmarkCompileSuiteProgram(b *testing.B) {
+	prog, err := suite.ByName("xlisp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := staticest.Compile("xlisp.c", []byte(prog.Source)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateSuiteProgram(b *testing.B) {
+	prog, err := suite.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Estimate()
+	}
+}
+
+func BenchmarkInterpretCompress(b *testing.B) {
+	prog, err := suite.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := prog.Inputs[0]
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.ReportMetric(float64(steps), "blocks/run")
+}
+
+func BenchmarkExtensionCutoffSweep(b *testing.B) {
+	data := loadSuite(b)
+	var at50 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.CutoffSweep(data, []float64{0.05, 0.25, 0.50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at50 = rows[2].Markov
+	}
+	b.ReportMetric(at50, "markov@50%")
+}
+
+func BenchmarkExtensionMarkovOracle(b *testing.B) {
+	data := loadSuite(b)
+	var oracle float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.MarkovOracle(data, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oracle = 0
+		for _, r := range rows {
+			oracle += r.MarkovOracle
+		}
+		oracle /= float64(len(rows))
+	}
+	b.ReportMetric(oracle, "oracle%")
+}

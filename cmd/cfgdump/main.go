@@ -1,0 +1,107 @@
+// Command cfgdump prints the compiler-side view of a C source file: the
+// AST (with estimate annotations), per-function control-flow graphs, the
+// call graph, and the branch predictor's per-site verdicts.
+//
+// Usage:
+//
+//	cfgdump [-ast] [-cfg] [-calls] [-pred] file.c
+//
+// With no mode flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"staticest"
+	"staticest/internal/cast"
+)
+
+func main() {
+	ast := flag.Bool("ast", false, "print the AST with estimated counts")
+	cfgF := flag.Bool("cfg", false, "print control-flow graphs")
+	calls := flag.Bool("calls", false, "print the call graph")
+	pred := flag.Bool("pred", false, "print branch predictions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cfgdump [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	all := !*ast && !*cfgF && !*calls && !*pred
+	if err := run(flag.Arg(0), all || *ast, all || *cfgF, all || *calls, all || *pred); err != nil {
+		fmt.Fprintf(os.Stderr, "cfgdump: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, ast, cfgF, calls, pred bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	u, err := staticest.Compile(path, src)
+	if err != nil {
+		return err
+	}
+	est := u.Estimate()
+
+	if ast {
+		fmt.Println("== AST (annotated with smart-heuristic estimated counts) ==")
+		for i, fd := range u.Sem.Funcs {
+			freq := est.StmtFreqOf(i)
+			var sb strings.Builder
+			cast.FprintTree(&sb, fd, func(s cast.Stmt) string {
+				if f, ok := freq[s]; ok {
+					return fmt.Sprintf("%.2f", f)
+				}
+				return ""
+			})
+			fmt.Print(sb.String())
+		}
+		fmt.Println()
+	}
+	if cfgF {
+		fmt.Println("== control-flow graphs ==")
+		for _, g := range u.CFG.Graphs {
+			fmt.Print(g.String())
+		}
+		fmt.Println()
+	}
+	if calls {
+		fmt.Println("== call graph (direct edges) ==")
+		for i, adj := range u.Call.Adj {
+			if len(adj) == 0 {
+				continue
+			}
+			names := make([]string, len(adj))
+			for j, c := range adj {
+				names[j] = u.Call.FuncName(c)
+			}
+			fmt.Printf("  %-20s -> %s\n", u.Call.FuncName(i), strings.Join(names, ", "))
+		}
+		if n := len(u.Call.AddrTaken); n > 0 {
+			fmt.Printf("  address-taken functions (%d):", n)
+			for _, at := range u.Call.AddrTaken {
+				fmt.Printf(" %s(%d)", u.Call.FuncName(at.FuncIndex), at.Count)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	if pred {
+		fmt.Println("== branch predictions ==")
+		for _, bs := range u.Sem.BranchSites {
+			bp := est.Pred.Branch[bs.ID]
+			cond := ""
+			if c := bs.Stmt.CondExpr(); c != nil {
+				cond = cast.ExprString(c)
+			}
+			fmt.Printf("  %-10s p(true)=%.2f  %s @%s: (%s)\n",
+				bp.Heuristic, bp.ProbTrue, bs.Func.Name(), bs.Stmt.Pos(), cond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command cprof interprets a C program under the profiling interpreter
+// and dumps the measured profile: per-function invocation counts, block
+// counts, branch outcomes, and call-site counts — what an instrumented
+// binary would report.
+//
+// Usage:
+//
+//	cprof [-in input-file] [-steps n] file.c [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"staticest"
+)
+
+func main() {
+	inFile := flag.String("in", "", "file fed to the program's stdin")
+	maxSteps := flag.Int64("steps", 0, "block-execution budget (0 = default)")
+	blocks := flag.Bool("blocks", false, "dump per-block counts")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: cprof [flags] file.c [args...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Args()[1:], *inFile, *maxSteps, *blocks); err != nil {
+		fmt.Fprintf(os.Stderr, "cprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, args []string, inFile string, maxSteps int64, blocks bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	u, err := staticest.Compile(path, src)
+	if err != nil {
+		return err
+	}
+	var stdin []byte
+	if inFile != "" {
+		stdin, err = os.ReadFile(inFile)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := u.Run(staticest.RunOptions{Args: args, Stdin: stdin, MaxSteps: maxSteps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- program output (%d bytes) --\n%s", len(res.Output), res.Output)
+	fmt.Printf("-- exit %d, %d block executions, %.0f simulated cycles --\n\n",
+		res.ExitCode, res.Steps, res.Profile.Cycles)
+
+	fmt.Println("function invocations:")
+	order := make([]int, len(u.Sem.Funcs))
+	for i := range order {
+		order[i] = i
+	}
+	p := res.Profile
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.FuncCalls[order[a]] > p.FuncCalls[order[b]]
+	})
+	for _, i := range order {
+		fmt.Printf("  %-24s %12.0f\n", u.Sem.Funcs[i].Name(), p.FuncCalls[i])
+	}
+
+	fmt.Println("\nbranch sites (taken/not):")
+	for _, bs := range u.Sem.BranchSites {
+		fmt.Printf("  %-40s %10.0f %10.0f\n",
+			fmt.Sprintf("%s @%s", bs.Func.Name(), bs.Stmt.Pos()),
+			p.BranchTaken[bs.ID], p.BranchNot[bs.ID])
+	}
+
+	fmt.Println("\ncall sites:")
+	for _, cs := range u.Sem.CallSites {
+		target := "<indirect>"
+		if cs.Callee != nil {
+			target = cs.Callee.Name
+		}
+		fmt.Printf("  %-44s %10.0f\n",
+			fmt.Sprintf("%s -> %s @%s", cs.Caller.Name(), target, cs.Call.Pos()),
+			p.CallSiteCounts[cs.ID])
+	}
+
+	if blocks {
+		fmt.Println("\nblock counts:")
+		for i, fd := range u.Sem.Funcs {
+			fmt.Printf("  %s:\n", fd.Name())
+			for _, blk := range u.CFG.Graphs[i].Blocks {
+				fmt.Printf("    b%-3d %-12s %12.0f\n", blk.ID, blk.Name,
+					p.BlockCounts[i][blk.ID])
+			}
+		}
+	}
+	return nil
+}

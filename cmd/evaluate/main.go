@@ -1,0 +1,149 @@
+// Command evaluate regenerates the paper's tables and figures from the
+// benchmark suite: it compiles all 14 programs, profiles them on every
+// input, runs the estimator ladder, and prints each experiment.
+//
+// Usage:
+//
+//	evaluate            # run everything
+//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"staticest/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2 all)")
+	flag.Parse()
+
+	if err := run(strings.ToLower(*exp)); err != nil {
+		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	section := func(s string) { fmt.Println(s) }
+
+	if want("t1") {
+		section(eval.Table1())
+	}
+	if want("t2") {
+		s, err := eval.Table2()
+		if err != nil {
+			return err
+		}
+		section(s)
+	}
+	if want("f3") {
+		s, err := eval.Figure3()
+		if err != nil {
+			return err
+		}
+		section(s)
+	}
+	if want("f6") {
+		s, err := eval.Figure6()
+		if err != nil {
+			return err
+		}
+		section(s)
+	}
+	if want("f7") {
+		s, err := eval.Figure7()
+		if err != nil {
+			return err
+		}
+		section(s)
+	}
+
+	needSuite := false
+	for _, e := range []string{"f2", "f4", "f5a", "f5b", "f5c", "f9", "f10", "x1", "x2"} {
+		if want(e) {
+			needSuite = true
+		}
+	}
+	if !needSuite {
+		return nil
+	}
+	data, err := eval.LoadSuiteCached()
+	if err != nil {
+		return err
+	}
+
+	if want("f2") {
+		rows, err := eval.Figure2(data)
+		if err != nil {
+			return err
+		}
+		section(eval.RenderFigure2(rows))
+	}
+	if want("f4") {
+		rows, err := eval.Figure4(data)
+		if err != nil {
+			return err
+		}
+		section(eval.RenderFigure4(rows))
+	}
+	if want("f5a") || want("f5c") {
+		rows, err := eval.Figure5(data, 0.25)
+		if err != nil {
+			return err
+		}
+		if want("f5a") {
+			section(eval.RenderFigure5a(rows))
+		}
+		if want("f5c") {
+			section(eval.RenderFigure5bc(rows, 25, "c"))
+		}
+	}
+	if want("f5b") {
+		rows, err := eval.Figure5(data, 0.10)
+		if err != nil {
+			return err
+		}
+		section(eval.RenderFigure5bc(rows, 10, "b"))
+	}
+	if want("f9") {
+		rows, err := eval.Figure9(data)
+		if err != nil {
+			return err
+		}
+		section(eval.RenderFigure9(rows))
+	}
+	if want("f10") {
+		var compress *eval.ProgramData
+		for _, d := range data {
+			if d.Prog.Name == "compress" {
+				compress = d
+			}
+		}
+		curves, err := eval.Figure10(compress, 0.55)
+		if err != nil {
+			return err
+		}
+		section(eval.RenderFigure10(curves))
+	}
+	if want("x1") {
+		rows, err := eval.CutoffSweep(data,
+			[]float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50})
+		if err != nil {
+			return err
+		}
+		section(eval.RenderCutoffSweep(rows))
+	}
+	if want("x2") {
+		rows, err := eval.MarkovOracle(data, 0.05)
+		if err != nil {
+			return err
+		}
+		section(eval.RenderMarkovOracle(rows))
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Branchpredict explains the smart predictor's verdict on every branch
+// of a program, then validates the predictions against an actual run —
+// showing which of the paper's heuristics fire where and what each one
+// is worth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"staticest"
+	"staticest/internal/cast"
+	"staticest/internal/metric"
+)
+
+const src = `
+#define NULL 0
+struct node { int key; struct node *next; };
+
+int lookup(struct node *list, int key) {
+	struct node *p = list;
+	while (p != NULL) {                 /* loop heuristic: keep looping */
+		if (p->key == key)              /* opcode heuristic: == unlikely */
+			return 1;
+		p = p->next;
+	}
+	return 0;
+}
+
+int safe_div(int a, int b) {
+	if (b == 0) {                       /* call heuristic: error arm unlikely */
+		puts("divide by zero");
+		exit(1);
+	}
+	return a / b;
+}
+
+int process(struct node *list, int n) {
+	int i, hits = 0;
+	for (i = 0; i < n; i++) {           /* loop heuristic */
+		if (lookup(list, i))            /* store heuristic: hits is read later */
+			hits = hits + 1;
+	}
+	return hits;
+}
+
+struct node nodes[8];
+
+int main(void) {
+	int i;
+	for (i = 0; i < 8; i++) {
+		nodes[i].key = i * 3;
+		nodes[i].next = (i + 1 < 8) ? &nodes[i + 1] : NULL;
+	}
+	printf("%d %d\n", process(nodes, 20), safe_div(100, 7));
+	return 0;
+}
+`
+
+func main() {
+	unit, err := staticest.Compile("demo.c", []byte(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := unit.Estimate()
+	res, err := unit.Run(staticest.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("branch-by-branch verdicts:")
+	fmt.Println("heuristic   p(true)  taken/not  hit%  condition")
+	p := res.Profile
+	for _, bs := range unit.Sem.BranchSites {
+		bp := est.Pred.Branch[bs.ID]
+		taken, not := p.BranchTaken[bs.ID], p.BranchNot[bs.ID]
+		hit := 0.0
+		if taken+not > 0 {
+			correct := not
+			if bp.Taken() {
+				correct = taken
+			}
+			hit = 100 * correct / (taken + not)
+		}
+		fmt.Printf("%-10s %7.2f %6.0f/%-5.0f %5.1f  %s @%s\n",
+			bp.Heuristic, bp.ProbTrue, taken, not, hit,
+			cast.ExprString(bs.Stmt.CondExpr()), bs.Stmt.Pos())
+	}
+
+	dirs := make([]bool, len(est.Pred.Branch))
+	skip := make([]bool, len(est.Pred.Branch))
+	for i, bp := range est.Pred.Branch {
+		dirs[i] = bp.Taken()
+		skip[i] = bp.Constant
+	}
+	miss := metric.MissRate(dirs, p.BranchTaken, p.BranchNot, skip)
+	psp := metric.PerfectStaticMissRate(p.BranchTaken, p.BranchNot, skip)
+	fmt.Printf("\noverall miss rate: %.1f%% (perfect static predictor: %.1f%%)\n",
+		miss*100, psp*100)
+}

@@ -1,0 +1,3 @@
+module staticest
+
+go 1.22

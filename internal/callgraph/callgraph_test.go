@@ -1,0 +1,122 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"staticest/internal/callgraph"
+	"staticest/internal/cparse"
+	"staticest/internal/sem"
+)
+
+func build(t *testing.T, src string) *callgraph.Graph {
+	t.Helper()
+	file, err := cparse.ParseFile("t.c", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Analyze(file)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return callgraph.Build(sp)
+}
+
+const graphSrc = `
+int leaf(void) { return 1; }
+int a(void) { return leaf() + leaf(); }
+int b(void) { return a(); }
+int self(int n) { if (n) return self(n - 1); return 0; }
+int ping(int n);
+int pong(int n) { return n ? ping(n - 1) : 0; }
+int ping(int n) { return n ? pong(n - 1) : 1; }
+int (*fp)(void) = leaf;
+int main(void) { return b() + self(3) + ping(4) + fp(); }
+`
+
+func TestEdgesAndMerging(t *testing.T) {
+	g := build(t, graphSrc)
+	idx := map[string]int{}
+	for i, fd := range g.Prog.Funcs {
+		idx[fd.Name()] = i
+	}
+	// a -> leaf merges two sites into one edge.
+	e := g.Edges[[2]int{idx["a"], idx["leaf"]}]
+	if e == nil || len(e.Sites) != 2 {
+		t.Fatalf("a->leaf edge: %+v", e)
+	}
+	if len(g.Adj[idx["a"]]) != 1 {
+		t.Errorf("a adjacency = %v, want one deduplicated callee", g.Adj[idx["a"]])
+	}
+	if g.MainIndex() != idx["main"] {
+		t.Errorf("MainIndex = %d", g.MainIndex())
+	}
+	if g.FuncName(idx["leaf"]) != "leaf" {
+		t.Error("FuncName wrong")
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	g := build(t, graphSrc)
+	idx := map[string]int{}
+	for i, fd := range g.Prog.Funcs {
+		idx[fd.Name()] = i
+	}
+	if !g.DirectlyRecursive(idx["self"]) {
+		t.Error("self not directly recursive")
+	}
+	if g.DirectlyRecursive(idx["ping"]) {
+		t.Error("ping marked directly recursive")
+	}
+	rec := g.InRecursiveSCC()
+	if !rec[idx["self"]] || !rec[idx["ping"]] || !rec[idx["pong"]] {
+		t.Errorf("recursive set wrong: %v", rec)
+	}
+	if rec[idx["leaf"]] || rec[idx["main"]] {
+		t.Errorf("non-recursive marked: %v", rec)
+	}
+}
+
+func TestIndirectAndAddrTaken(t *testing.T) {
+	g := build(t, graphSrc)
+	idx := map[string]int{}
+	for i, fd := range g.Prog.Funcs {
+		idx[fd.Name()] = i
+	}
+	if len(g.IndirectSites[idx["main"]]) != 1 {
+		t.Errorf("indirect sites of main: %v", g.IndirectSites[idx["main"]])
+	}
+	if len(g.AddrTaken) != 1 || g.AddrTaken[0].FuncIndex != idx["leaf"] {
+		t.Errorf("address-taken: %+v", g.AddrTaken)
+	}
+	if g.AddrTaken[0].Count != 1 {
+		t.Errorf("leaf count = %d, want 1", g.AddrTaken[0].Count)
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	g := build(t, graphSrc)
+	comps := g.SCCs()
+	// The condensation must place callees before callers (reverse
+	// topological order), so leaf's component precedes a's, which
+	// precedes b's.
+	pos := map[int]int{}
+	for ci, comp := range comps {
+		for _, v := range comp {
+			pos[v] = ci
+		}
+	}
+	idx := map[string]int{}
+	for i, fd := range g.Prog.Funcs {
+		idx[fd.Name()] = i
+	}
+	if !(pos[idx["leaf"]] < pos[idx["a"]] && pos[idx["a"]] < pos[idx["b"]]) {
+		t.Errorf("component order wrong: %v", comps)
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	g := build(t, `int f(void) { return 1; }`)
+	if g.MainIndex() != -1 {
+		t.Errorf("MainIndex = %d, want -1", g.MainIndex())
+	}
+}

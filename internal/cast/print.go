@@ -1,0 +1,179 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExprString renders an expression in C-like syntax (fully
+// parenthesized for compound subexpressions; intended for diagnostics,
+// not round-tripping).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		if x.IsChar {
+			return fmt.Sprintf("%q", rune(x.Val))
+		}
+		return fmt.Sprintf("%d", int64(x.Val))
+	case *FloatLit:
+		return fmt.Sprintf("%g", x.Val)
+	case *StrLit:
+		return fmt.Sprintf("%q", string(x.Val))
+	case *Ident:
+		return x.Name
+	case *Unary:
+		return fmt.Sprintf("%s%s", x.Op, parens(x.X))
+	case *Postfix:
+		op := "--"
+		if x.Inc {
+			op = "++"
+		}
+		return parens(x.X) + op
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", parens(x.X), x.Op, parens(x.Y))
+	case *Logical:
+		op := "||"
+		if x.AndAnd {
+			op = "&&"
+		}
+		return fmt.Sprintf("%s %s %s", parens(x.X), op, parens(x.Y))
+	case *Cond:
+		return fmt.Sprintf("%s ? %s : %s", parens(x.C), parens(x.Then), parens(x.Else))
+	case *Assign:
+		return fmt.Sprintf("%s %s %s", ExprString(x.L), x.Op, ExprString(x.R))
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", ExprString(x.Fun), strings.Join(args, ", "))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", parens(x.X), ExprString(x.I))
+	case *Member:
+		sep := "."
+		if x.Arrow {
+			sep = "->"
+		}
+		return parens(x.X) + sep + x.Name
+	case *SizeofExpr:
+		return fmt.Sprintf("sizeof %s", parens(x.X))
+	case *SizeofType:
+		return fmt.Sprintf("sizeof(%s)", x.Of)
+	case *CastExpr:
+		return fmt.Sprintf("(%s)%s", x.To, parens(x.X))
+	case *Comma:
+		return fmt.Sprintf("%s, %s", ExprString(x.X), ExprString(x.Y))
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func parens(e Expr) string {
+	switch e.(type) {
+	case *IntLit, *FloatLit, *StrLit, *Ident, *Call, *Index, *Member, *Postfix:
+		return ExprString(e)
+	default:
+		return "(" + ExprString(e) + ")"
+	}
+}
+
+// StmtLabel renders a one-line description of a statement for CFG dumps
+// and estimate annotations.
+func StmtLabel(s Stmt) string {
+	switch x := s.(type) {
+	case nil:
+		return "<nil>"
+	case *Empty:
+		return ";"
+	case *ExprStmt:
+		return ExprString(x.X) + ";"
+	case *DeclStmt:
+		names := make([]string, len(x.Decls))
+		for i, d := range x.Decls {
+			names[i] = d.Obj.Name
+		}
+		return "decl " + strings.Join(names, ", ")
+	case *Block:
+		return fmt.Sprintf("{ %d stmts }", len(x.Stmts))
+	case *If:
+		return "if (" + ExprString(x.Cond) + ")"
+	case *While:
+		return "while (" + ExprString(x.Cond) + ")"
+	case *DoWhile:
+		return "do-while (" + ExprString(x.Cond) + ")"
+	case *For:
+		return fmt.Sprintf("for (%s; %s; %s)",
+			ExprString(x.Init), ExprString(x.Cond), ExprString(x.Post))
+	case *Switch:
+		return "switch (" + ExprString(x.Tag) + ")"
+	case *Break:
+		return "break;"
+	case *Continue:
+		return "continue;"
+	case *Return:
+		if x.X == nil {
+			return "return;"
+		}
+		return "return " + ExprString(x.X) + ";"
+	case *Goto:
+		return "goto " + x.Label + ";"
+	case *Labeled:
+		return x.Label + ": " + StmtLabel(x.Stmt)
+	}
+	return fmt.Sprintf("<%T>", s)
+}
+
+// FprintTree writes an indented tree rendering of the function body. The
+// optional annotate callback supplies a per-statement prefix (Figure 3 of
+// the paper annotates each node with its estimated frequency).
+func FprintTree(sb *strings.Builder, fd *FuncDecl, annotate func(Stmt) string) {
+	fmt.Fprintf(sb, "function %s\n", fd.Name())
+	var walk func(s Stmt, depth int)
+	walk = func(s Stmt, depth int) {
+		if s == nil {
+			return
+		}
+		prefix := ""
+		if annotate != nil {
+			prefix = annotate(s)
+		}
+		fmt.Fprintf(sb, "%-8s%s%s\n", prefix, strings.Repeat("  ", depth), StmtLabel(s))
+		switch x := s.(type) {
+		case *Block:
+			for _, c := range x.Stmts {
+				walk(c, depth+1)
+			}
+		case *If:
+			walk(x.Then, depth+1)
+			if x.Else != nil {
+				fmt.Fprintf(sb, "%-8s%selse\n", "", strings.Repeat("  ", depth))
+				walk(x.Else, depth+1)
+			}
+		case *While:
+			walk(x.Body, depth+1)
+		case *DoWhile:
+			walk(x.Body, depth+1)
+		case *For:
+			walk(x.Body, depth+1)
+		case *Switch:
+			for _, c := range x.Cases {
+				lbl := "default:"
+				if !c.IsDefault {
+					vals := make([]string, len(c.Vals))
+					for i, v := range c.Vals {
+						vals[i] = fmt.Sprintf("case %d:", v)
+					}
+					lbl = strings.Join(vals, " ")
+				}
+				fmt.Fprintf(sb, "%-8s%s%s\n", "", strings.Repeat("  ", depth+1), lbl)
+				for _, cs := range c.Stmts {
+					walk(cs, depth+2)
+				}
+			}
+		case *Labeled:
+			walk(x.Stmt, depth+1)
+		}
+	}
+	walk(fd.Body, 1)
+}

@@ -1,0 +1,219 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"staticest/internal/cfg"
+	"staticest/internal/cparse"
+	"staticest/internal/sem"
+)
+
+func build(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	file, err := cparse.ParseFile("t.c", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Analyze(file)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	cp, err := cfg.Build(sp)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return cp
+}
+
+// checkWellFormed verifies structural invariants every graph must hold.
+func checkWellFormed(t *testing.T, g *cfg.Graph) {
+	t.Helper()
+	ids := map[int]bool{}
+	for _, b := range g.Blocks {
+		if ids[b.ID] {
+			t.Errorf("%s: duplicate block ID %d", g.Fn.Name(), b.ID)
+		}
+		ids[b.ID] = true
+		switch b.Term {
+		case cfg.TermJump:
+			if len(b.Succs) != 1 {
+				t.Errorf("%s b%d: jump with %d successors", g.Fn.Name(), b.ID, len(b.Succs))
+			}
+		case cfg.TermCond:
+			if len(b.Succs) != 2 || b.Cond == nil {
+				t.Errorf("%s b%d: malformed cond terminator", g.Fn.Name(), b.ID)
+			}
+		case cfg.TermSwitch:
+			if len(b.Succs) != len(b.Cases) || b.Tag == nil {
+				t.Errorf("%s b%d: switch with %d succs, %d cases",
+					g.Fn.Name(), b.ID, len(b.Succs), len(b.Cases))
+			}
+		case cfg.TermReturn:
+			if len(b.Succs) != 0 {
+				t.Errorf("%s b%d: return with successors", g.Fn.Name(), b.ID)
+			}
+		}
+		for _, s := range b.Succs {
+			if !contains(s.Preds, b) {
+				t.Errorf("%s: b%d -> b%d missing back-reference", g.Fn.Name(), b.ID, s.ID)
+			}
+			if s.ID < 0 || s.ID >= len(g.Blocks) {
+				t.Errorf("%s: b%d has pruned successor", g.Fn.Name(), b.ID)
+			}
+		}
+		for _, p := range b.Preds {
+			if !contains(p.Succs, b) {
+				t.Errorf("%s: b%d pred b%d missing forward edge", g.Fn.Name(), b.ID, p.ID)
+			}
+		}
+	}
+	if g.Entry == nil || !ids[g.Entry.ID] {
+		t.Errorf("%s: entry not in block list", g.Fn.Name())
+	}
+}
+
+func contains(list []*cfg.Block, b *cfg.Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name, src string
+		blocks    int // expected block count of func 0 (-1 = don't check)
+	}{
+		{"straightline", `int f(void) { int x = 1; x++; return x; }`, 1},
+		{"ifelse", `int f(int a) { int r; if (a) r = 1; else r = 2; return r; }`, 4},
+		{"ifnoelse", `int f(int a) { if (a) a++; return a; }`, 3},
+		{"while", `int f(int n) { while (n > 0) n--; return n; }`, 3},
+		{"dowhile", `int f(int n) { do { n--; } while (n > 0); return n; }`, 3},
+		// entry (decls + init), for.cond, for.body, for.end, for.post.
+		{"forloop", `int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s += i; return s; }`, 5},
+		{"forever", `int f(void) { for (;;) { } }`, -1},
+		{"nested", `int f(int n) { int i, j, s = 0;
+			for (i = 0; i < n; i++)
+				for (j = 0; j < i; j++)
+					if (j % 2) s++;
+			return s; }`, -1},
+		{"switch", `int f(int c) { switch (c) { case 1: return 1; case 2: break; default: c = 9; } return c; }`, -1},
+		{"gotoloop", `int f(int n) { int s = 0;
+		top:
+			s += n;
+			n--;
+			if (n > 0) goto top;
+			return s; }`, -1},
+		{"breakcontinue", `int f(int n) { int i, s = 0;
+			for (i = 0; i < n; i++) {
+				if (i == 3) continue;
+				if (i > 7) break;
+				s += i;
+			}
+			return s; }`, -1},
+		{"unreachable", `int f(void) { return 1; return 2; }`, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := build(t, tc.src)
+			g := cp.Graphs[0]
+			checkWellFormed(t, g)
+			if tc.blocks >= 0 && len(g.Blocks) != tc.blocks {
+				t.Errorf("%d blocks, want %d:\n%s", len(g.Blocks), tc.blocks, g)
+			}
+		})
+	}
+}
+
+func TestCFGEntryMerge(t *testing.T) {
+	// A function starting with a loop should begin at the loop test
+	// (the paper's strchr CFG shape).
+	cp := build(t, `int f(int n) { while (n) n--; return 0; }`)
+	g := cp.Graphs[0]
+	if g.Entry.Term != cfg.TermCond {
+		t.Errorf("entry should be the loop condition, got %v:\n%s", g.Entry.Term, g)
+	}
+	// The loop's back edge must target the entry.
+	found := false
+	for _, p := range g.Entry.Preds {
+		if p != g.Entry {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop back-edge missing:\n%s", g)
+	}
+}
+
+func TestCFGSwitchImplicitDefault(t *testing.T) {
+	cp := build(t, `int f(int c) { switch (c) { case 1: return 1; } return 0; }`)
+	g := cp.Graphs[0]
+	var sw *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Term == cfg.TermSwitch {
+			sw = b
+		}
+	}
+	if sw == nil {
+		t.Fatalf("no switch block:\n%s", g)
+	}
+	hasDefault := false
+	for _, c := range sw.Cases {
+		if c.IsDefault {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		t.Errorf("switch lacks the implicit default arm:\n%s", g)
+	}
+}
+
+func TestCFGBranchSitesRecorded(t *testing.T) {
+	cp := build(t, `int f(int a, int b) {
+		if (a) b++;
+		while (b > 0) b--;
+		return b;
+	}`)
+	g := cp.Graphs[0]
+	sites := map[int]bool{}
+	for _, b := range g.Blocks {
+		if b.Term == cfg.TermCond {
+			if b.BranchSite < 0 {
+				t.Errorf("cond block b%d lacks a branch site", b.ID)
+			}
+			sites[b.BranchSite] = true
+		}
+	}
+	if len(sites) != 2 {
+		t.Errorf("%d distinct branch sites, want 2", len(sites))
+	}
+}
+
+func TestCFGErrors(t *testing.T) {
+	for _, src := range []string{
+		`int f(void) { break; return 0; }`,
+		`int f(void) { continue; return 0; }`,
+	} {
+		file, err := cparse.ParseFile("t.c", []byte(src))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		sp, err := sem.Analyze(file)
+		if err != nil {
+			t.Fatalf("sem: %v", err)
+		}
+		if _, err := cfg.Build(sp); err == nil {
+			t.Errorf("expected CFG error for %q", src)
+		}
+	}
+}
+
+func TestCFGStringRendering(t *testing.T) {
+	cp := build(t, `int f(int a) { if (a) return 1; return 0; }`)
+	s := cp.Graphs[0].String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("suspicious rendering: %q", s)
+	}
+}

@@ -1,0 +1,83 @@
+// Package core implements the paper's static estimators: the smart
+// branch predictor (Ball/Larus-style heuristics at the AST + type
+// level), the loop/smart/Markov intra-procedural block-frequency
+// estimators, the call_site/direct/all_rec/all_rec2/Markov
+// inter-procedural invocation estimators, and the combined call-site
+// frequency estimator.
+package core
+
+// Config carries the estimator parameters the paper fixes (and this
+// reproduction ablates).
+type Config struct {
+	// LoopCount is the assumed iteration count of every loop (paper: 5).
+	// A loop test therefore runs LoopCount times per loop entry and the
+	// body LoopCount-1 times, matching a continuation probability of
+	// 1 - 1/LoopCount.
+	LoopCount float64
+
+	// TakenProb is the probability assigned to the predicted arm of a
+	// two-way branch (paper: 0.8; "the exact value chosen did not have a
+	// significant effect").
+	TakenProb float64
+
+	// SwitchWeightByLabels weights switch arms by their number of case
+	// labels (the paper's slightly-better variant); false weights arms
+	// equally.
+	SwitchWeightByLabels bool
+
+	// UseHeuristics enables the smart branch heuristics; when false,
+	// every two-way branch is 50/50 (the paper's plain "loop" estimator).
+	UseHeuristics bool
+
+	// DisabledHeuristics removes individual heuristics by name
+	// ("pointer", "call", "opcode", "logical", "store") for the ablation
+	// benchmarks.
+	DisabledHeuristics map[string]bool
+
+	// RecursionScale multiplies the invocation estimate of recursive
+	// functions in the direct/all_rec estimators (paper: 5).
+	RecursionScale float64
+
+	// RecursionClamp replaces self-arc weights >= 1 in the Markov call
+	// graph (paper: 0.8).
+	RecursionClamp float64
+
+	// SCCCeiling bounds SCC-subproblem solutions in the Markov call
+	// graph (paper: 5).
+	SCCCeiling float64
+
+	// SCCScaleStep is the factor applied to an SCC's arc weights each
+	// time its subproblem fails (the paper scales "by a constant").
+	SCCScaleStep float64
+}
+
+// DefaultConfig returns the paper's parameter choices.
+func DefaultConfig() Config {
+	return Config{
+		LoopCount:            5,
+		TakenProb:            0.8,
+		SwitchWeightByLabels: true,
+		UseHeuristics:        true,
+		RecursionScale:       5,
+		RecursionClamp:       0.8,
+		SCCCeiling:           5,
+		SCCScaleStep:         0.9,
+	}
+}
+
+func (c Config) heuristicEnabled(name string) bool {
+	if !c.UseHeuristics {
+		return false
+	}
+	return !c.DisabledHeuristics[name]
+}
+
+// loopContinueProb converts the loop iteration guess to a branch
+// probability: iterating N times means the test succeeds with
+// probability 1 - 1/N.
+func (c Config) loopContinueProb() float64 {
+	if c.LoopCount <= 1 {
+		return 0.5
+	}
+	return 1 - 1/c.LoopCount
+}

@@ -1,0 +1,353 @@
+package cparse
+
+import (
+	"staticest/internal/cast"
+	"staticest/internal/ctoken"
+)
+
+// expr parses a full expression including the comma operator.
+func (p *parser) expr() (cast.Expr, error) {
+	x, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(ctoken.Comma) {
+		pos := p.pos()
+		p.next()
+		y, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		c := &cast.Comma{X: x, Y: y}
+		c.P = pos
+		x = c
+	}
+	return x, nil
+}
+
+var assignOps = map[ctoken.Kind]cast.AssignOp{
+	ctoken.Assign:    cast.Plain,
+	ctoken.AddAssign: cast.AddEq,
+	ctoken.SubAssign: cast.SubEq,
+	ctoken.MulAssign: cast.MulEq,
+	ctoken.DivAssign: cast.DivEq,
+	ctoken.RemAssign: cast.RemEq,
+	ctoken.AndAssign: cast.AndEq,
+	ctoken.OrAssign:  cast.OrEq,
+	ctoken.XorAssign: cast.XorEq,
+	ctoken.ShlAssign: cast.ShlEq,
+	ctoken.ShrAssign: cast.ShrEq,
+}
+
+func (p *parser) assignExpr() (cast.Expr, error) {
+	x, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := assignOps[p.kind()]; ok {
+		pos := p.pos()
+		p.next()
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &cast.Assign{Op: op, L: x, R: r}
+		a.P = pos
+		return a, nil
+	}
+	return x, nil
+}
+
+func (p *parser) condExpr() (cast.Expr, error) {
+	c, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(ctoken.Question) {
+		return c, nil
+	}
+	pos := p.pos()
+	p.next()
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	x := &cast.Cond{C: c, Then: then, Else: els}
+	x.P = pos
+	return x, nil
+}
+
+// binLevel describes one precedence level of binary operators, lowest
+// first.
+type binLevel struct {
+	toks []ctoken.Kind
+	ops  []cast.BinaryOp
+	// logical is set for && and ||, which build Logical nodes.
+	logical bool
+	andAnd  bool
+}
+
+var binLevels = []binLevel{
+	{toks: []ctoken.Kind{ctoken.OrOr}, logical: true},
+	{toks: []ctoken.Kind{ctoken.AndAnd}, logical: true, andAnd: true},
+	{toks: []ctoken.Kind{ctoken.Pipe}, ops: []cast.BinaryOp{cast.Or}},
+	{toks: []ctoken.Kind{ctoken.Caret}, ops: []cast.BinaryOp{cast.Xor}},
+	{toks: []ctoken.Kind{ctoken.Amp}, ops: []cast.BinaryOp{cast.And}},
+	{toks: []ctoken.Kind{ctoken.EqEq, ctoken.NotEq}, ops: []cast.BinaryOp{cast.Eq, cast.Ne}},
+	{toks: []ctoken.Kind{ctoken.Lt, ctoken.Gt, ctoken.Le, ctoken.Ge},
+		ops: []cast.BinaryOp{cast.Lt, cast.Gt, cast.Le, cast.Ge}},
+	{toks: []ctoken.Kind{ctoken.Shl, ctoken.Shr}, ops: []cast.BinaryOp{cast.Shl, cast.Shr}},
+	{toks: []ctoken.Kind{ctoken.Plus, ctoken.Minus}, ops: []cast.BinaryOp{cast.Add, cast.Sub}},
+	{toks: []ctoken.Kind{ctoken.Star, ctoken.Slash, ctoken.Percent},
+		ops: []cast.BinaryOp{cast.Mul, cast.Div, cast.Rem}},
+}
+
+func (p *parser) binaryExpr(level int) (cast.Expr, error) {
+	if level >= len(binLevels) {
+		return p.castExpr()
+	}
+	lv := binLevels[level]
+	x, err := p.binaryExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := -1
+		for i, k := range lv.toks {
+			if p.at(k) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			return x, nil
+		}
+		pos := p.pos()
+		p.next()
+		y, err := p.binaryExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		if lv.logical {
+			l := &cast.Logical{AndAnd: lv.andAnd, X: x, Y: y}
+			l.P = pos
+			x = l
+		} else {
+			b := &cast.Binary{Op: lv.ops[matched], X: x, Y: y}
+			b.P = pos
+			x = b
+		}
+	}
+}
+
+// castExpr parses `(type-name) cast-expr` or falls through to unary.
+func (p *parser) castExpr() (cast.Expr, error) {
+	if p.at(ctoken.LParen) && p.typeStartsAt(p.i+1) {
+		pos := p.pos()
+		p.next()
+		t, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ctoken.RParen); err != nil {
+			return nil, err
+		}
+		x, err := p.castExpr()
+		if err != nil {
+			return nil, err
+		}
+		c := &cast.CastExpr{To: t, X: x}
+		c.P = pos
+		return c, nil
+	}
+	return p.unaryExpr()
+}
+
+// typeStartsAt reports whether the token at index i begins a type name.
+func (p *parser) typeStartsAt(i int) bool {
+	if i >= len(p.toks) {
+		return false
+	}
+	k := p.toks[i].Kind
+	if k.IsTypeKeyword() {
+		return true
+	}
+	if k == ctoken.Ident {
+		_, ok := p.typedefs[p.toks[i].Text]
+		return ok
+	}
+	return false
+}
+
+var prefixOps = map[ctoken.Kind]cast.UnaryOp{
+	ctoken.Minus: cast.Neg,
+	ctoken.Tilde: cast.BitNot,
+	ctoken.Not:   cast.LogNot,
+	ctoken.Star:  cast.Deref,
+	ctoken.Amp:   cast.Addr,
+	ctoken.Inc:   cast.PreInc,
+	ctoken.Dec:   cast.PreDec,
+}
+
+func (p *parser) unaryExpr() (cast.Expr, error) {
+	pos := p.pos()
+	switch p.kind() {
+	case ctoken.Plus: // unary plus is a no-op
+		p.next()
+		return p.castExpr()
+	case ctoken.KwSizeof:
+		p.next()
+		if p.at(ctoken.LParen) && p.typeStartsAt(p.i+1) {
+			p.next()
+			t, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(ctoken.RParen); err != nil {
+				return nil, err
+			}
+			x := &cast.SizeofType{Of: t}
+			x.P = pos
+			return x, nil
+		}
+		inner, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x := &cast.SizeofExpr{X: inner}
+		x.P = pos
+		return x, nil
+	}
+	if op, ok := prefixOps[p.kind()]; ok {
+		p.next()
+		var inner cast.Expr
+		var err error
+		if op == cast.PreInc || op == cast.PreDec {
+			inner, err = p.unaryExpr()
+		} else {
+			inner, err = p.castExpr()
+		}
+		if err != nil {
+			return nil, err
+		}
+		x := &cast.Unary{Op: op, X: inner}
+		x.P = pos
+		return x, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (cast.Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.pos()
+		switch p.kind() {
+		case ctoken.LBrack:
+			p.next()
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(ctoken.RBrack); err != nil {
+				return nil, err
+			}
+			n := &cast.Index{X: x, I: i}
+			n.P = pos
+			x = n
+		case ctoken.LParen:
+			p.next()
+			var args []cast.Expr
+			for !p.at(ctoken.RParen) {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(ctoken.Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(ctoken.RParen); err != nil {
+				return nil, err
+			}
+			n := &cast.Call{Fun: x, Args: args, SiteID: -1}
+			n.P = pos
+			x = n
+		case ctoken.Dot, ctoken.Arrow:
+			arrow := p.kind() == ctoken.Arrow
+			p.next()
+			name, err := p.expect(ctoken.Ident)
+			if err != nil {
+				return nil, err
+			}
+			n := &cast.Member{X: x, Name: name.Text, Arrow: arrow}
+			n.P = pos
+			x = n
+		case ctoken.Inc, ctoken.Dec:
+			inc := p.kind() == ctoken.Inc
+			p.next()
+			n := &cast.Postfix{Inc: inc, X: x}
+			n.P = pos
+			x = n
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (cast.Expr, error) {
+	pos := p.pos()
+	switch p.kind() {
+	case ctoken.IntLit:
+		t := p.next()
+		x := &cast.IntLit{Val: t.IntVal, Unsigned: t.Unsigned, Long: t.Long}
+		x.P = pos
+		return x, nil
+	case ctoken.CharLit:
+		t := p.next()
+		x := &cast.IntLit{Val: t.IntVal, IsChar: true}
+		x.P = pos
+		return x, nil
+	case ctoken.FloatLit:
+		t := p.next()
+		x := &cast.FloatLit{Val: t.FloatVal}
+		x.P = pos
+		return x, nil
+	case ctoken.StrLit:
+		t := p.next()
+		x := &cast.StrLit{Val: t.StrVal, DataIndex: -1}
+		x.P = pos
+		return x, nil
+	case ctoken.Ident:
+		t := p.next()
+		if v, ok := p.enums[t.Text]; ok {
+			x := &cast.IntLit{Val: uint64(v)}
+			x.P = pos
+			return x, nil
+		}
+		x := &cast.Ident{Name: t.Text}
+		x.P = pos
+		return x, nil
+	case ctoken.LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ctoken.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("expected expression, found %s", p.tok())
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"staticest/internal/core"
+	"staticest/internal/metric"
+	"staticest/internal/profile"
+	"staticest/internal/texttab"
+)
+
+// The experiments in this file go beyond the paper's figures:
+//
+//   - SweepRow / CutoffSweep quantifies the paper's aside that "often
+//     scores are higher for wider cutoffs, but this is by no means
+//     universal" by sweeping the weight-matching cutoff.
+//   - OracleRow / MarkovOracle answers the paper's closing open question
+//     for the intra-procedural Markov model: "It is an open question
+//     whether static branch prediction can be accurate enough to make
+//     good use of the intra-procedural Markov model (for example, by
+//     using a static predictor that generates probabilities directly)."
+//     We feed the model *perfect* probabilities (derived from held-out
+//     profiles) and measure the headroom.
+
+// SweepRow is one cutoff's suite-average invocation scores.
+type SweepRow struct {
+	Cutoff  float64
+	Direct  float64
+	Markov  float64
+	Profile float64
+}
+
+// CutoffSweep scores the invocation estimators across cutoffs.
+func CutoffSweep(data []*ProgramData, cutoffs []float64) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, c := range cutoffs {
+		f5, err := Figure5(data, c)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{Cutoff: c}
+		for _, r := range f5 {
+			row.Direct += r.Direct
+			row.Markov += r.Markov
+			row.Profile += r.Profile
+		}
+		n := float64(len(f5))
+		row.Direct /= n
+		row.Markov /= n
+		row.Profile /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCutoffSweep renders the sweep.
+func RenderCutoffSweep(rows []SweepRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension X1: invocation scores across weight-matching cutoffs\n")
+	sb.WriteString("(the paper notes wider cutoffs often, but not always, score higher)\n\n")
+	t := texttab.New("cutoff", "direct", "markov", "profiling").AlignRight(1, 2, 3)
+	for _, r := range rows {
+		t.Row(fmt.Sprintf("%.0f%%", r.Cutoff*100), r.Direct, r.Markov, r.Profile)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// OracleRow compares the static Markov intra estimator against the same
+// model fed profile-derived ("oracle") branch probabilities.
+type OracleRow struct {
+	Program      string
+	Smart        float64 // AST walk with smart predictions
+	Markov       float64 // Markov chain with smart predictions
+	MarkovOracle float64 // Markov chain with held-out-profile probabilities
+	Profile      float64 // profiling as the estimator
+}
+
+// oraclePredictions builds a Predictions table whose probabilities come
+// from a profile (the aggregate of the held-out inputs).
+func oraclePredictions(d *ProgramData, static *core.Predictions, p *profile.Profile) *core.Predictions {
+	pr := &core.Predictions{
+		Branch: make([]core.BranchPrediction, len(static.Branch)),
+		Switch: make([][]float64, len(static.Switch)),
+	}
+	for i, bp := range static.Branch {
+		taken, not := p.BranchTaken[i], p.BranchNot[i]
+		if taken+not > 0 {
+			bp.ProbTrue = taken / (taken + not)
+			bp.Heuristic = "oracle"
+			bp.Constant = false
+		}
+		pr.Branch[i] = bp
+	}
+	for i, probs := range static.Switch {
+		arms := p.SwitchArm[i]
+		total := 0.0
+		for _, c := range arms {
+			total += c
+		}
+		out := append([]float64(nil), probs...)
+		if total > 0 && len(arms) == len(probs) {
+			for j := range out {
+				out[j] = arms[j] / total
+			}
+		}
+		pr.Switch[i] = out
+	}
+	return pr
+}
+
+// MarkovOracle scores the intra Markov model under static vs oracle
+// probabilities at the given cutoff.
+func MarkovOracle(data []*ProgramData, cutoff float64) ([]OracleRow, error) {
+	conf := core.DefaultConfig()
+	var rows []OracleRow
+	for _, d := range data {
+		static := core.Predict(d.Unit.CFG, conf)
+		row := OracleRow{Program: d.Prog.Name}
+
+		smart, err := intraScore(d, intraEstimateVectors(d.Est.IntraSmart), cutoff)
+		if err != nil {
+			return nil, err
+		}
+		markov, err := intraScore(d, intraEstimateVectors(d.Est.IntraMarkov), cutoff)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := intraProfilingScore(d, cutoff)
+		if err != nil {
+			return nil, err
+		}
+
+		// Oracle: per held-out profile, rebuild the Markov estimates
+		// with probabilities from the aggregate of the other inputs.
+		oracle, err := meanOverProfiles(len(d.Profiles), func(i int) (float64, error) {
+			agg, err := aggregateOthers(d.Profiles, i)
+			if err != nil {
+				return 0, err
+			}
+			preds := oraclePredictions(d, static, agg)
+			p := d.Profiles[i]
+			var scores, weights []float64
+			for f, g := range d.Unit.CFG.Graphs {
+				if p.FuncCalls[f] == 0 {
+					continue
+				}
+				res := core.IntraMarkov(g, preds, conf)
+				scores = append(scores, metric.WeightMatch(res.BlockFreq, p.BlockCounts[f], cutoff))
+				weights = append(weights, p.FuncCalls[f])
+			}
+			if len(scores) == 0 {
+				return 1, nil
+			}
+			return metric.WeightedMean(scores, weights), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		row.Smart = smart * 100
+		row.Markov = markov * 100
+		row.MarkovOracle = oracle * 100
+		row.Profile = prof * 100
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderMarkovOracle renders the open-question experiment.
+func RenderMarkovOracle(rows []OracleRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension X2: can better probabilities rescue the intra Markov model?\n")
+	sb.WriteString("(the paper's open question: Markov with oracle branch probabilities)\n\n")
+	t := texttab.New("program", "smart", "markov", "markov+oracle", "profiling").
+		AlignRight(1, 2, 3, 4)
+	var a, b, c, p float64
+	for _, r := range rows {
+		t.Row(r.Program, r.Smart, r.Markov, r.MarkovOracle, r.Profile)
+		a += r.Smart
+		b += r.Markov
+		c += r.MarkovOracle
+		p += r.Profile
+	}
+	n := float64(len(rows))
+	t.Row("AVERAGE", a/n, b/n, c/n, p/n)
+	sb.WriteString(t.String())
+	return sb.String()
+}

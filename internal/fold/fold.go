@@ -1,0 +1,242 @@
+// Package fold evaluates constant expressions over the typed AST. The
+// estimators use it to detect branch conditions that constant folding
+// would decide at compile time: the paper predicts those branches but
+// excludes them from miss-rate scoring.
+package fold
+
+import (
+	"staticest/internal/cast"
+	"staticest/internal/ctypes"
+)
+
+// Const is a compile-time constant value.
+type Const struct {
+	IsFloat bool
+	I       int64
+	F       float64
+}
+
+// Truthy reports whether the constant is non-zero.
+func (c Const) Truthy() bool {
+	if c.IsFloat {
+		return c.F != 0
+	}
+	return c.I != 0
+}
+
+func intConst(v int64) Const     { return Const{I: v} }
+func floatConst(v float64) Const { return Const{IsFloat: true, F: v} }
+
+// Expr attempts to fold an expression to a constant.
+func Expr(e cast.Expr) (Const, bool) {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return intConst(int64(x.Val)), true
+	case *cast.FloatLit:
+		return floatConst(x.Val), true
+	case *cast.SizeofType:
+		return intConst(x.Of.Size()), true
+	case *cast.SizeofExpr:
+		if t := x.X.Type(); t != nil && t.Size() > 0 {
+			return intConst(t.Size()), true
+		}
+		return Const{}, false
+	case *cast.Unary:
+		v, ok := Expr(x.X)
+		if !ok {
+			return Const{}, false
+		}
+		switch x.Op {
+		case cast.Neg:
+			if v.IsFloat {
+				return floatConst(-v.F), true
+			}
+			return intConst(-v.I), true
+		case cast.BitNot:
+			if v.IsFloat {
+				return Const{}, false
+			}
+			return intConst(^v.I), true
+		case cast.LogNot:
+			return intConst(b2i(!v.Truthy())), true
+		}
+		return Const{}, false
+	case *cast.Logical:
+		l, ok := Expr(x.X)
+		if !ok {
+			return Const{}, false
+		}
+		// C short-circuits, so a decided left side folds the whole thing.
+		if x.AndAnd && !l.Truthy() {
+			return intConst(0), true
+		}
+		if !x.AndAnd && l.Truthy() {
+			return intConst(1), true
+		}
+		r, ok := Expr(x.Y)
+		if !ok {
+			return Const{}, false
+		}
+		return intConst(b2i(r.Truthy())), true
+	case *cast.Cond:
+		c, ok := Expr(x.C)
+		if !ok {
+			return Const{}, false
+		}
+		if c.Truthy() {
+			return Expr(x.Then)
+		}
+		return Expr(x.Else)
+	case *cast.CastExpr:
+		v, ok := Expr(x.X)
+		if !ok {
+			return Const{}, false
+		}
+		switch {
+		case x.To.IsFloat():
+			if v.IsFloat {
+				return v, true
+			}
+			return floatConst(float64(v.I)), true
+		case x.To.IsInteger():
+			if v.IsFloat {
+				return intConst(int64(v.F)), true
+			}
+			return intConst(truncTo(v.I, x.To)), true
+		}
+		return Const{}, false
+	case *cast.Comma:
+		// Folding would discard side effects of X; only fold when X also
+		// folds (i.e. is effect-free).
+		if _, ok := Expr(x.X); !ok {
+			return Const{}, false
+		}
+		return Expr(x.Y)
+	case *cast.Binary:
+		l, ok := Expr(x.X)
+		if !ok {
+			return Const{}, false
+		}
+		r, ok := Expr(x.Y)
+		if !ok {
+			return Const{}, false
+		}
+		return foldBinary(x.Op, l, r)
+	}
+	return Const{}, false
+}
+
+func foldBinary(op cast.BinaryOp, l, r Const) (Const, bool) {
+	if l.IsFloat || r.IsFloat {
+		lf, rf := l.asFloat(), r.asFloat()
+		switch op {
+		case cast.Add:
+			return floatConst(lf + rf), true
+		case cast.Sub:
+			return floatConst(lf - rf), true
+		case cast.Mul:
+			return floatConst(lf * rf), true
+		case cast.Div:
+			if rf == 0 {
+				return Const{}, false
+			}
+			return floatConst(lf / rf), true
+		case cast.Lt:
+			return intConst(b2i(lf < rf)), true
+		case cast.Gt:
+			return intConst(b2i(lf > rf)), true
+		case cast.Le:
+			return intConst(b2i(lf <= rf)), true
+		case cast.Ge:
+			return intConst(b2i(lf >= rf)), true
+		case cast.Eq:
+			return intConst(b2i(lf == rf)), true
+		case cast.Ne:
+			return intConst(b2i(lf != rf)), true
+		}
+		return Const{}, false
+	}
+	a, b := l.I, r.I
+	switch op {
+	case cast.Add:
+		return intConst(a + b), true
+	case cast.Sub:
+		return intConst(a - b), true
+	case cast.Mul:
+		return intConst(a * b), true
+	case cast.Div:
+		if b == 0 {
+			return Const{}, false
+		}
+		return intConst(a / b), true
+	case cast.Rem:
+		if b == 0 {
+			return Const{}, false
+		}
+		return intConst(a % b), true
+	case cast.And:
+		return intConst(a & b), true
+	case cast.Or:
+		return intConst(a | b), true
+	case cast.Xor:
+		return intConst(a ^ b), true
+	case cast.Shl:
+		return intConst(a << (uint64(b) & 63)), true
+	case cast.Shr:
+		return intConst(a >> (uint64(b) & 63)), true
+	case cast.Lt:
+		return intConst(b2i(a < b)), true
+	case cast.Gt:
+		return intConst(b2i(a > b)), true
+	case cast.Le:
+		return intConst(b2i(a <= b)), true
+	case cast.Ge:
+		return intConst(b2i(a >= b)), true
+	case cast.Eq:
+		return intConst(b2i(a == b)), true
+	case cast.Ne:
+		return intConst(b2i(a != b)), true
+	}
+	return Const{}, false
+}
+
+func (c Const) asFloat() float64 {
+	if c.IsFloat {
+		return c.F
+	}
+	return float64(c.I)
+}
+
+func truncTo(v int64, t *ctypes.Type) int64 {
+	switch t.Kind {
+	case ctypes.Char:
+		return int64(int8(v))
+	case ctypes.UChar:
+		return int64(uint8(v))
+	case ctypes.Short:
+		return int64(int16(v))
+	case ctypes.UShort:
+		return int64(uint16(v))
+	case ctypes.Int:
+		return int64(int32(v))
+	case ctypes.UInt:
+		return int64(uint32(v))
+	}
+	return v
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BoolCond folds a branch condition, reporting (value, isConstant).
+func BoolCond(e cast.Expr) (bool, bool) {
+	c, ok := Expr(e)
+	if !ok {
+		return false, false
+	}
+	return c.Truthy(), true
+}

@@ -1,0 +1,117 @@
+package fold_test
+
+import (
+	"testing"
+
+	"staticest/internal/cast"
+	"staticest/internal/cparse"
+	"staticest/internal/fold"
+)
+
+// condOf parses a snippet and returns the condition of the first if in
+// the only function.
+func condOf(t *testing.T, cond string) cast.Expr {
+	t.Helper()
+	src := "int g; int f(int x, int *p) { if (" + cond + ") g = 1; return g; }"
+	file, err := cparse.ParseFile("t.c", []byte(src))
+	if err != nil {
+		t.Fatalf("parse %q: %v", cond, err)
+	}
+	var ifStmt *cast.If
+	cast.WalkStmt(file.Funcs[0].Body, func(s cast.Stmt) bool {
+		if i, ok := s.(*cast.If); ok && ifStmt == nil {
+			ifStmt = i
+		}
+		return true
+	})
+	if ifStmt == nil {
+		t.Fatalf("no if in %q", cond)
+	}
+	return ifStmt.Cond
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		cond    string
+		isConst bool
+		val     bool
+	}{
+		{"1", true, true},
+		{"0", true, false},
+		{"3 - 3", true, false},
+		{"2 * 4 - 8 + 1", true, true},
+		{"1 && 0", true, false},
+		{"1 || 0", true, true},
+		{"!5", true, false},
+		{"~0", true, true},
+		{"(1 + 2) == 3", true, true},
+		{"1 ? 0 : 7", true, false},
+		{"2 < 1", true, false},
+		{"sizeof(int) == 4", true, true},
+		{"sizeof(long) == 8", true, true},
+		{"(char)257", true, true}, // truncates to 1
+		{"(char)256", true, false},
+		{"1.5 > 1.0", true, true},
+		{"0.0", true, false},
+		{"x", false, false},
+		{"x == 1", false, false},
+		{"x && 0", false, false}, // left side has effects? (x is pure but not constant)
+		{"0 && x", true, false},  // short-circuit decides
+		{"1 || x", true, true},
+		{"5 / 0", false, false}, // division by zero never folds
+		{"5 % 0", false, false},
+	}
+	for _, tc := range cases {
+		cond := condOf(t, tc.cond)
+		val, isConst := fold.BoolCond(cond)
+		if isConst != tc.isConst {
+			t.Errorf("%q: const = %v, want %v", tc.cond, isConst, tc.isConst)
+			continue
+		}
+		if isConst && val != tc.val {
+			t.Errorf("%q: value = %v, want %v", tc.cond, val, tc.val)
+		}
+	}
+}
+
+func TestFoldExprValues(t *testing.T) {
+	cases := []struct {
+		cond string
+		want int64
+	}{
+		{"1 + 2", 3},
+		{"10 % 3", 1},
+		{"1 << 10", 1024},
+		{"255 >> 4", 15},
+		{"0xf0 | 0x0f", 255},
+		{"0xff & 0x0f", 15},
+		{"5 ^ 3", 6},
+		{"-(4)", -4},
+		{"7 <= 7", 1},
+		{"'a'", 97},
+	}
+	for _, tc := range cases {
+		c, ok := fold.Expr(condOf(t, tc.cond))
+		if !ok {
+			t.Errorf("%q did not fold", tc.cond)
+			continue
+		}
+		if c.IsFloat || c.I != tc.want {
+			t.Errorf("%q = %+v, want %d", tc.cond, c, tc.want)
+		}
+	}
+}
+
+func TestFoldFloat(t *testing.T) {
+	c, ok := fold.Expr(condOf(t, "1.5 * 4.0"))
+	if !ok || !c.IsFloat || c.F != 6.0 {
+		t.Errorf("1.5*4.0 = %+v ok=%v", c, ok)
+	}
+	if !c.Truthy() {
+		t.Error("6.0 should be truthy")
+	}
+	c, _ = fold.Expr(condOf(t, "(int)2.9"))
+	if c.IsFloat || c.I != 2 {
+		t.Errorf("(int)2.9 = %+v, want 2", c)
+	}
+}

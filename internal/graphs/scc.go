@@ -1,0 +1,138 @@
+// Package graphs provides the graph algorithms the estimators rely on:
+// Tarjan's strongly-connected components, reachability, and topological
+// ordering of the condensation. Graphs are adjacency lists over integer
+// node IDs 0..n-1.
+package graphs
+
+// SCC computes strongly-connected components using Tarjan's algorithm
+// (iterative, so deep graphs cannot overflow the Go stack). Components
+// are returned in reverse topological order of the condensation: every
+// edge between distinct components points from a later component in the
+// slice to an earlier one.
+func SCC(n int, adj [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		comps   [][]int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		next int // next adjacency index to process
+	}
+	var callStack []frame
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: start})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			advanced := false
+			for f.next < len(adj[v]) {
+				w := adj[v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// CompIndex maps each node to the index of its component in comps.
+func CompIndex(n int, comps [][]int) []int {
+	ci := make([]int, n)
+	for i, comp := range comps {
+		for _, v := range comp {
+			ci[v] = i
+		}
+	}
+	return ci
+}
+
+// IsRecursiveComp reports whether the component is recursive: more than
+// one node, or a single node with a self-edge.
+func IsRecursiveComp(comp []int, adj [][]int) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	v := comp[0]
+	for _, w := range adj[v] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of nodes reachable from start (inclusive).
+func Reachable(n int, adj [][]int, start int) []bool {
+	seen := make([]bool, n)
+	if start < 0 || start >= n {
+		return seen
+	}
+	work := []int{start}
+	seen[start] = true
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				work = append(work, w)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,144 @@
+package graphs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0, 2 -> 3
+	adj := [][]int{{1}, {2}, {0, 3}, {}}
+	comps := SCC(4, adj)
+	if len(comps) != 2 {
+		t.Fatalf("%d components, want 2: %v", len(comps), comps)
+	}
+	// Reverse topological order: {3} first, then {0,1,2}.
+	if len(comps[0]) != 1 || comps[0][0] != 3 {
+		t.Errorf("first component = %v, want [3]", comps[0])
+	}
+	got := append([]int(nil), comps[1]...)
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("cycle component = %v, want [0 1 2]", got)
+	}
+}
+
+func TestSCCDisconnected(t *testing.T) {
+	adj := [][]int{{}, {}, {}}
+	comps := SCC(3, adj)
+	if len(comps) != 3 {
+		t.Errorf("%d components, want 3", len(comps))
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	adj := [][]int{{0}, {}}
+	comps := SCC(2, adj)
+	if len(comps) != 2 {
+		t.Fatalf("%d components, want 2", len(comps))
+	}
+	if !IsRecursiveComp([]int{0}, adj) {
+		t.Error("self-loop not recursive")
+	}
+	if IsRecursiveComp([]int{1}, adj) {
+		t.Error("isolated node marked recursive")
+	}
+}
+
+func TestSCCDeepChainIterative(t *testing.T) {
+	// A 200k-node chain would overflow a recursive implementation.
+	n := 200_000
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = []int{i + 1}
+	}
+	comps := SCC(n, adj)
+	if len(comps) != n {
+		t.Fatalf("%d components, want %d", len(comps), n)
+	}
+}
+
+func TestCompIndex(t *testing.T) {
+	adj := [][]int{{1}, {0}, {}}
+	comps := SCC(3, adj)
+	ci := CompIndex(3, comps)
+	if ci[0] != ci[1] {
+		t.Error("cycle members in different components")
+	}
+	if ci[2] == ci[0] {
+		t.Error("independent node in cycle component")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	adj := [][]int{{1}, {2}, {}, {0}}
+	r := Reachable(4, adj, 0)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("reachable[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+	if r := Reachable(4, adj, -1); r[0] {
+		t.Error("invalid start should reach nothing")
+	}
+}
+
+// Property: components partition the nodes, mutual reachability holds
+// within a component, and the returned order is a reverse topological
+// order of the condensation.
+func TestSCCProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng.Seed(seed)
+		n := int(nRaw%15) + 1
+		m := int(mRaw % 40)
+		adj := make([][]int, n)
+		for e := 0; e < m; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			adj[u] = append(adj[u], v)
+		}
+		comps := SCC(n, adj)
+
+		// Partition check.
+		seen := make([]int, n)
+		for _, c := range comps {
+			for _, v := range c {
+				seen[v]++
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		ci := CompIndex(n, comps)
+		// Mutual reachability inside components.
+		for _, c := range comps {
+			if len(c) < 2 {
+				continue
+			}
+			r := Reachable(n, adj, c[0])
+			for _, v := range c {
+				if !r[v] {
+					return false
+				}
+			}
+		}
+		// Cross-component edges go from later components to earlier ones
+		// (reverse topological order).
+		for u := range adj {
+			for _, v := range adj[u] {
+				if ci[u] != ci[v] && ci[u] < ci[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,519 @@
+package interp
+
+import (
+	"math"
+
+	"staticest/internal/cast"
+	"staticest/internal/ctypes"
+)
+
+// value is a runtime value. Integers and encoded pointers live in i;
+// floats in f. Struct values are represented by their address in i.
+type value struct {
+	typ *ctypes.Type
+	i   int64
+	f   float64
+}
+
+func intValue(v int64, t *ctypes.Type) value { return value{typ: t, i: truncInt(v, t)} }
+func floatValue(v float64, t *ctypes.Type) value {
+	if t.Kind == ctypes.Float {
+		v = float64(float32(v))
+	}
+	return value{typ: t, f: v}
+}
+func ptrValue(p uint64, t *ctypes.Type) value { return value{typ: t, i: int64(p)} }
+
+func float32Bits(f float32) uint32     { return math.Float32bits(f) }
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }
+func float32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// truncInt reduces v to the width and signedness of integer type t.
+func truncInt(v int64, t *ctypes.Type) int64 {
+	switch t.Kind {
+	case ctypes.Char:
+		return int64(int8(v))
+	case ctypes.UChar:
+		return int64(uint8(v))
+	case ctypes.Short:
+		return int64(int16(v))
+	case ctypes.UShort:
+		return int64(uint16(v))
+	case ctypes.Int:
+		return int64(int32(v))
+	case ctypes.UInt:
+		return int64(uint32(v))
+	default: // Long, ULong, Ptr
+		return v
+	}
+}
+
+func isTrue(v value) bool {
+	if v.typ.IsFloat() {
+		return v.f != 0
+	}
+	return v.i != 0
+}
+
+// convert coerces a value to type t following C conversion rules.
+func convert(m *Machine, v value, t *ctypes.Type) value {
+	if t.Kind == ctypes.Void {
+		return value{typ: t}
+	}
+	switch {
+	case t.IsFloat():
+		if v.typ.IsFloat() {
+			return floatValue(v.f, t)
+		}
+		if v.typ.IsUnsigned() {
+			return floatValue(float64(uint64(v.i)), t)
+		}
+		return floatValue(float64(v.i), t)
+	case t.IsInteger():
+		if v.typ.IsFloat() {
+			f := v.f
+			if math.IsNaN(f) {
+				return intValue(0, t)
+			}
+			if f > math.MaxInt64 {
+				f = math.MaxInt64
+			}
+			if f < math.MinInt64 {
+				f = math.MinInt64
+			}
+			return intValue(int64(f), t)
+		}
+		return intValue(v.i, t)
+	case t.Kind == ctypes.Ptr:
+		if v.typ.IsFloat() {
+			m.fail("cannot convert floating value to pointer")
+		}
+		return value{typ: t, i: v.i}
+	case t.Kind == ctypes.Struct:
+		return value{typ: t, i: v.i}
+	}
+	m.fail("unsupported conversion from %s to %s", v.typ, t)
+	return value{}
+}
+
+// eval evaluates an expression to a value. fr may be nil only while
+// evaluating global initializers, which must not touch locals.
+func (m *Machine) eval(fr *frame, e cast.Expr) value {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return intValue(int64(x.Val), x.Type())
+	case *cast.FloatLit:
+		return floatValue(x.Val, x.Type())
+	case *cast.StrLit:
+		return ptrValue(encodePtr(m.strSeg[x.DataIndex], 0), ctypes.PointerTo(ctypes.CharType))
+	case *cast.Ident:
+		obj := x.Obj
+		if obj.Kind == cast.ObjFunc {
+			if obj.FuncIndex < 0 {
+				m.fail("cannot take the value of builtin %q", obj.Name)
+			}
+			return ptrValue(encodeFnPtr(obj.FuncIndex), ctypes.PointerTo(obj.Type))
+		}
+		addr := m.objAddr(fr, obj)
+		return m.load(addr, obj.Type)
+	case *cast.Unary:
+		return m.evalUnary(fr, x)
+	case *cast.Postfix:
+		addr, t := m.lvalue(fr, x.X)
+		old := m.load(addr, t)
+		delta := int64(1)
+		if !x.Inc {
+			delta = -1
+		}
+		m.store(addr, t, m.addScalar(old, delta))
+		return old
+	case *cast.Binary:
+		return m.evalBinary(fr, x)
+	case *cast.Logical:
+		l := m.eval(fr, x.X)
+		if x.AndAnd {
+			if !isTrue(l) {
+				return intValue(0, ctypes.IntType)
+			}
+			return intValue(b2i(isTrue(m.eval(fr, x.Y))), ctypes.IntType)
+		}
+		if isTrue(l) {
+			return intValue(1, ctypes.IntType)
+		}
+		return intValue(b2i(isTrue(m.eval(fr, x.Y))), ctypes.IntType)
+	case *cast.Cond:
+		if isTrue(m.eval(fr, x.C)) {
+			return m.condArm(fr, x, x.Then)
+		}
+		return m.condArm(fr, x, x.Else)
+	case *cast.Assign:
+		addr, t := m.lvalue(fr, x.L)
+		var v value
+		if x.Op == cast.Plain {
+			v = convert(m, m.eval(fr, x.R), t)
+		} else {
+			cur := m.load(addr, t)
+			r := m.eval(fr, x.R)
+			v = convert(m, m.binop(x.Op.BinOp(), cur, r), t)
+		}
+		m.store(addr, t, v)
+		return v
+	case *cast.Call:
+		return m.evalCall(fr, x)
+	case *cast.Index:
+		addr, t := m.lvalue(fr, x)
+		return m.load(addr, t)
+	case *cast.Member:
+		addr, t := m.lvalue(fr, x)
+		return m.load(addr, t)
+	case *cast.SizeofExpr:
+		return intValue(x.X.Type().Size(), ctypes.LongType)
+	case *cast.SizeofType:
+		return intValue(x.Of.Size(), ctypes.LongType)
+	case *cast.CastExpr:
+		return convert(m, m.eval(fr, x.X), castTarget(x.To))
+	case *cast.Comma:
+		m.eval(fr, x.X)
+		return m.eval(fr, x.Y)
+	}
+	m.fail("interp: unhandled expression %T", e)
+	return value{}
+}
+
+// castTarget maps a syntactic cast type to a value type (arrays cannot be
+// cast targets; void stays void).
+func castTarget(t *ctypes.Type) *ctypes.Type { return t }
+
+func (m *Machine) condArm(fr *frame, c *cast.Cond, arm cast.Expr) value {
+	v := m.eval(fr, arm)
+	if c.Type() != nil && c.Type().Kind != ctypes.Void {
+		return convert(m, v, c.Type())
+	}
+	return v
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// objAddr returns the storage address of a variable object.
+func (m *Machine) objAddr(fr *frame, o *cast.Object) uint64 {
+	if o.Global {
+		return encodePtr(m.globalSeg[o.GlobalIndex], 0)
+	}
+	if fr == nil {
+		m.fail("reference to local %q outside a function", o.Name)
+	}
+	return m.localAddr(fr, o)
+}
+
+// lvalue computes the address and type of an assignable expression.
+func (m *Machine) lvalue(fr *frame, e cast.Expr) (uint64, *ctypes.Type) {
+	switch x := e.(type) {
+	case *cast.Ident:
+		if x.Obj.Kind == cast.ObjFunc {
+			m.fail("function %q used as lvalue", x.Name)
+		}
+		return m.objAddr(fr, x.Obj), x.Obj.Type
+	case *cast.Unary:
+		if x.Op == cast.Deref {
+			v := m.eval(fr, x.X)
+			if v.i == 0 {
+				m.curPos = x.Pos()
+				m.fail("null pointer dereference")
+			}
+			return uint64(v.i), x.Type()
+		}
+	case *cast.Index:
+		base := m.eval(fr, x.X) // arrays decay to pointers in eval
+		idx := m.eval(fr, x.I)
+		t := x.Type()
+		if base.i == 0 {
+			m.curPos = x.Pos()
+			m.fail("indexing a null pointer")
+		}
+		return uint64(base.i + idx.i*t.Size()), t
+	case *cast.Member:
+		if x.Arrow {
+			base := m.eval(fr, x.X)
+			if base.i == 0 {
+				m.curPos = x.Pos()
+				m.fail("-> on null pointer")
+			}
+			return uint64(base.i) + uint64(x.Field.Offset), x.Field.Type
+		}
+		addr, _ := m.lvalue(fr, x.X)
+		return addr + uint64(x.Field.Offset), x.Field.Type
+	}
+	m.fail("interp: expression is not an lvalue (%T)", e)
+	return 0, nil
+}
+
+func (m *Machine) evalUnary(fr *frame, x *cast.Unary) value {
+	switch x.Op {
+	case cast.Neg:
+		v := m.eval(fr, x.X)
+		if v.typ.IsFloat() {
+			return floatValue(-v.f, x.Type())
+		}
+		return intValue(-v.i, x.Type())
+	case cast.BitNot:
+		v := m.eval(fr, x.X)
+		return intValue(^v.i, x.Type())
+	case cast.LogNot:
+		return intValue(b2i(!isTrue(m.eval(fr, x.X))), ctypes.IntType)
+	case cast.Deref:
+		v := m.eval(fr, x.X)
+		if v.i == 0 {
+			m.curPos = x.Pos()
+			m.fail("null pointer dereference")
+		}
+		return m.load(uint64(v.i), x.Type())
+	case cast.Addr:
+		if id, ok := x.X.(*cast.Ident); ok && id.Obj.Kind == cast.ObjFunc {
+			if id.Obj.FuncIndex < 0 {
+				m.fail("cannot take the address of builtin %q", id.Obj.Name)
+			}
+			return ptrValue(encodeFnPtr(id.Obj.FuncIndex), x.Type())
+		}
+		addr, _ := m.lvalue(fr, x.X)
+		return ptrValue(addr, x.Type())
+	case cast.PreInc, cast.PreDec:
+		addr, t := m.lvalue(fr, x.X)
+		old := m.load(addr, t)
+		delta := int64(1)
+		if x.Op == cast.PreDec {
+			delta = -1
+		}
+		nv := m.addScalar(old, delta)
+		m.store(addr, t, nv)
+		return nv
+	}
+	m.fail("interp: unhandled unary %s", x.Op)
+	return value{}
+}
+
+// addScalar adds delta to an integer, float, or pointer value (pointer
+// steps by element size).
+func (m *Machine) addScalar(v value, delta int64) value {
+	switch {
+	case v.typ.IsFloat():
+		return floatValue(v.f+float64(delta), v.typ)
+	case v.typ.Kind == ctypes.Ptr:
+		return ptrValue(uint64(v.i+delta*v.typ.Elem.Size()), v.typ)
+	default:
+		return intValue(v.i+delta, v.typ)
+	}
+}
+
+func (m *Machine) evalBinary(fr *frame, x *cast.Binary) value {
+	l := m.eval(fr, x.X)
+	r := m.eval(fr, x.Y)
+	m.curPos = x.Pos()
+	return m.binop(x.Op, l, r)
+}
+
+func (m *Machine) binop(op cast.BinaryOp, l, r value) value {
+	// Pointer arithmetic and comparisons.
+	lp := l.typ.Kind == ctypes.Ptr
+	rp := r.typ.Kind == ctypes.Ptr
+	if lp || rp {
+		switch op {
+		case cast.Add:
+			if lp {
+				return ptrValue(uint64(l.i+r.i*l.typ.Elem.Size()), l.typ)
+			}
+			return ptrValue(uint64(r.i+l.i*r.typ.Elem.Size()), r.typ)
+		case cast.Sub:
+			if lp && rp {
+				esz := l.typ.Elem.Size()
+				if esz == 0 {
+					esz = 1
+				}
+				return intValue((l.i-r.i)/esz, ctypes.LongType)
+			}
+			return ptrValue(uint64(l.i-r.i*l.typ.Elem.Size()), l.typ)
+		case cast.Eq, cast.Ne, cast.Lt, cast.Gt, cast.Le, cast.Ge:
+			return intValue(b2i(cmpInt(op, uint64(l.i), uint64(r.i))), ctypes.IntType)
+		}
+		m.fail("invalid pointer operation %s", op)
+	}
+
+	ct := ctypes.UsualArith(l.typ, r.typ)
+	if ct.IsFloat() {
+		lf, rf := toF(l), toF(r)
+		switch op {
+		case cast.Add:
+			return floatValue(lf+rf, ct)
+		case cast.Sub:
+			return floatValue(lf-rf, ct)
+		case cast.Mul:
+			return floatValue(lf*rf, ct)
+		case cast.Div:
+			return floatValue(lf/rf, ct)
+		case cast.Lt:
+			return intValue(b2i(lf < rf), ctypes.IntType)
+		case cast.Gt:
+			return intValue(b2i(lf > rf), ctypes.IntType)
+		case cast.Le:
+			return intValue(b2i(lf <= rf), ctypes.IntType)
+		case cast.Ge:
+			return intValue(b2i(lf >= rf), ctypes.IntType)
+		case cast.Eq:
+			return intValue(b2i(lf == rf), ctypes.IntType)
+		case cast.Ne:
+			return intValue(b2i(lf != rf), ctypes.IntType)
+		}
+		m.fail("invalid floating operation %s", op)
+	}
+
+	li := truncInt(l.i, ct)
+	ri := truncInt(r.i, ct)
+	unsigned := ct.IsUnsigned()
+	switch op {
+	case cast.Add:
+		return intValue(li+ri, ct)
+	case cast.Sub:
+		return intValue(li-ri, ct)
+	case cast.Mul:
+		return intValue(li*ri, ct)
+	case cast.Div:
+		if ri == 0 {
+			m.fail("integer division by zero")
+		}
+		if unsigned {
+			return intValue(int64(uint64(li)/uint64(ri)), ct)
+		}
+		if li == math.MinInt64 && ri == -1 {
+			return intValue(li, ct)
+		}
+		return intValue(li/ri, ct)
+	case cast.Rem:
+		if ri == 0 {
+			m.fail("integer remainder by zero")
+		}
+		if unsigned {
+			return intValue(int64(uint64(li)%uint64(ri)), ct)
+		}
+		if li == math.MinInt64 && ri == -1 {
+			return intValue(0, ct)
+		}
+		return intValue(li%ri, ct)
+	case cast.And:
+		return intValue(li&ri, ct)
+	case cast.Or:
+		return intValue(li|ri, ct)
+	case cast.Xor:
+		return intValue(li^ri, ct)
+	case cast.Shl:
+		return intValue(li<<(uint64(ri)&63), ct)
+	case cast.Shr:
+		if unsigned {
+			// Width-aware logical shift.
+			switch ct.Kind {
+			case ctypes.UInt:
+				return intValue(int64(uint32(li)>>(uint64(ri)&63)), ct)
+			case ctypes.ULong:
+				return intValue(int64(uint64(li)>>(uint64(ri)&63)), ct)
+			default:
+				return intValue(int64(uint64(truncInt(li, ct))>>(uint64(ri)&63)), ct)
+			}
+		}
+		return intValue(li>>(uint64(ri)&63), ct)
+	case cast.Lt, cast.Gt, cast.Le, cast.Ge, cast.Eq, cast.Ne:
+		if unsigned {
+			return intValue(b2i(cmpInt(op, uint64(li), uint64(ri))), ctypes.IntType)
+		}
+		var res bool
+		switch op {
+		case cast.Lt:
+			res = li < ri
+		case cast.Gt:
+			res = li > ri
+		case cast.Le:
+			res = li <= ri
+		case cast.Ge:
+			res = li >= ri
+		case cast.Eq:
+			res = li == ri
+		case cast.Ne:
+			res = li != ri
+		}
+		return intValue(b2i(res), ctypes.IntType)
+	}
+	m.fail("interp: unhandled binary %s", op)
+	return value{}
+}
+
+func cmpInt(op cast.BinaryOp, a, b uint64) bool {
+	switch op {
+	case cast.Lt:
+		return a < b
+	case cast.Gt:
+		return a > b
+	case cast.Le:
+		return a <= b
+	case cast.Ge:
+		return a >= b
+	case cast.Eq:
+		return a == b
+	case cast.Ne:
+		return a != b
+	}
+	return false
+}
+
+func toF(v value) float64 {
+	if v.typ.IsFloat() {
+		return v.f
+	}
+	if v.typ.IsUnsigned() {
+		return float64(uint64(v.i))
+	}
+	return float64(v.i)
+}
+
+func (m *Machine) evalCall(fr *frame, x *cast.Call) value {
+	// Resolve the target first.
+	var fnIdx = -1
+	var builtinName string
+	if callee := x.Callee(); callee != nil {
+		if callee.Builtin || callee.FuncIndex < 0 {
+			builtinName = callee.Name
+		} else {
+			fnIdx = callee.FuncIndex
+		}
+	} else {
+		fv := m.eval(fr, x.Fun)
+		p := uint64(fv.i)
+		if p == 0 {
+			m.curPos = x.Pos()
+			m.fail("call through null function pointer")
+		}
+		if !isFnPtr(p) {
+			m.curPos = x.Pos()
+			m.fail("call through non-function pointer")
+		}
+		fnIdx = fnPtrIndex(p)
+		if fnIdx < 0 || fnIdx >= len(m.sem.Funcs) {
+			m.fail("corrupt function pointer")
+		}
+	}
+
+	args := make([]value, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = m.eval(fr, a)
+	}
+	if x.SiteID >= 0 {
+		m.prof.CallSiteCounts[x.SiteID]++
+	}
+	m.curPos = x.Pos()
+	if builtinName != "" {
+		return m.callBuiltin(builtinName, args, x)
+	}
+	return m.callFunc(fnIdx, args)
+}

@@ -1,0 +1,606 @@
+// Package interp is a CFG-level interpreter for the C subset. It stands
+// in for the paper's instrumented native binaries: executing a program on
+// an input while recording the exact dynamic counts a profiler would —
+// basic-block executions, branch directions, switch arms, function
+// invocations, and call-site counts — plus simulated cycles under a
+// simple cost model used by the selective-optimization experiment.
+package interp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"staticest/internal/cast"
+	"staticest/internal/cfg"
+	"staticest/internal/ctoken"
+	"staticest/internal/ctypes"
+	"staticest/internal/profile"
+	"staticest/internal/sem"
+)
+
+// Encoded pointers: bits 40..62 hold the segment ID, bits 0..39 the byte
+// offset. Bit 62 tags function pointers, whose low bits hold the function
+// index. NULL is 0.
+const (
+	offBits   = 40
+	offMask   = (1 << offBits) - 1
+	fnPtrTag  = uint64(1) << 62
+	maxSegID  = 1<<22 - 1
+	stackSize = 1 << 23 // 8 MiB simulated stack
+)
+
+func encodePtr(seg uint64, off int64) uint64 { return seg<<offBits | uint64(off)&offMask }
+func ptrSeg(p uint64) uint64                 { return (p &^ fnPtrTag) >> offBits }
+func ptrOff(p uint64) int64                  { return int64(p & offMask) }
+func isFnPtr(p uint64) bool                  { return p&fnPtrTag != 0 }
+func encodeFnPtr(idx int) uint64             { return fnPtrTag | uint64(idx) }
+func fnPtrIndex(p uint64) int                { return int(p &^ fnPtrTag) }
+
+type segKind int
+
+const (
+	segStack segKind = iota
+	segGlobal
+	segString
+	segHeap
+)
+
+type segment struct {
+	data  []byte
+	kind  segKind
+	freed bool
+	name  string
+}
+
+// RuntimeError is a C-level runtime fault (null dereference, out of
+// bounds access, division by zero, stack overflow, exhausted step
+// budget).
+type RuntimeError struct {
+	Pos ctoken.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+type exitPanic struct{ code int }
+
+// Options configures a run.
+type Options struct {
+	// Args are the program arguments (argv[1:]; argv[0] is the program
+	// name).
+	Args []string
+	// Stdin is the byte stream getchar consumes.
+	Stdin []byte
+	// MaxSteps bounds the number of basic-block executions (0 means the
+	// default of 200 million).
+	MaxSteps int64
+	// OptFactor scales the per-block cost of "optimized" functions
+	// (indexed by function index); unset entries cost 1.0. Used by the
+	// Figure 10 selective-optimization experiment.
+	OptFactor map[int]float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	ExitCode int
+	Output   []byte
+	Profile  *profile.Profile
+	Steps    int64
+}
+
+// Machine executes one program run.
+type Machine struct {
+	cfgP *cfg.Program
+	sem  *sem.Program
+
+	segs      []*segment // segment ID = index + 1
+	stackSeg  uint64
+	sp        int64
+	globalSeg []uint64 // by GlobalIndex
+	strSeg    []uint64 // by StrLit.DataIndex
+
+	stdin  []byte
+	inPos  int
+	out    bytes.Buffer
+	rng    uint64
+	prof   *profile.Profile
+	steps  int64
+	maxT   int64
+	cycles float64
+	factor []float64 // per-function cost factor
+
+	curPos ctoken.Pos
+	depth  int
+}
+
+// Run executes the program to completion and returns its profile.
+func Run(p *cfg.Program, opts Options) (res *Result, err error) {
+	m := newMachine(p, opts)
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case exitPanic:
+				res = m.result(v.code)
+			case *RuntimeError:
+				err = v
+			default:
+				panic(r)
+			}
+		}
+	}()
+	if m.sem.Main == nil {
+		return nil, fmt.Errorf("interp: program has no main function")
+	}
+	m.initGlobals()
+	code := m.callMain(opts.Args)
+	return m.result(code), nil
+}
+
+func (m *Machine) result(code int) *Result {
+	m.prof.Cycles = m.cycles
+	return &Result{
+		ExitCode: code,
+		Output:   append([]byte(nil), m.out.Bytes()...),
+		Profile:  m.prof,
+		Steps:    m.steps,
+	}
+}
+
+func newMachine(p *cfg.Program, opts Options) *Machine {
+	sp := p.Sem
+	blocksPerFunc := make([]int, len(sp.Funcs))
+	for i, g := range p.Graphs {
+		blocksPerFunc[i] = len(g.Blocks)
+	}
+	switchArms := make([]int, len(sp.SwitchSites))
+	for _, ss := range sp.SwitchSites {
+		n := len(ss.Stmt.Cases)
+		// The CFG may add an implicit default arm.
+		hasDefault := false
+		for _, c := range ss.Stmt.Cases {
+			if c.IsDefault {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			n++
+		}
+		switchArms[ss.ID] = n
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 200_000_000
+	}
+	m := &Machine{
+		cfgP:  p,
+		sem:   sp,
+		stdin: opts.Stdin,
+		rng:   0x2545F4914F6CDD1D,
+		prof:  profile.New(blocksPerFunc, len(sp.CallSites), len(sp.BranchSites), switchArms),
+		maxT:  maxSteps,
+	}
+	m.factor = make([]float64, len(sp.Funcs))
+	for i := range m.factor {
+		m.factor[i] = 1.0
+	}
+	for i, f := range opts.OptFactor {
+		if i >= 0 && i < len(m.factor) {
+			m.factor[i] = f
+		}
+	}
+	// Segment 1: the stack.
+	m.stackSeg = m.newSegment(make([]byte, stackSize), segStack, "stack")
+	// Globals, one segment each.
+	m.globalSeg = make([]uint64, len(sp.Globals))
+	for i, g := range sp.Globals {
+		size := g.Obj.Type.Size()
+		if size <= 0 {
+			size = 8
+		}
+		m.globalSeg[i] = m.newSegment(make([]byte, size), segGlobal, g.Obj.Name)
+	}
+	// String literals.
+	m.strSeg = make([]uint64, len(sp.Strings))
+	for i, s := range sp.Strings {
+		data := make([]byte, len(s)+1)
+		copy(data, s)
+		m.strSeg[i] = m.newSegment(data, segString, fmt.Sprintf("strlit%d", i))
+	}
+	return m
+}
+
+func (m *Machine) newSegment(data []byte, kind segKind, name string) uint64 {
+	if len(m.segs) >= maxSegID {
+		m.fail("out of memory segments (allocation storm?)")
+	}
+	m.segs = append(m.segs, &segment{data: data, kind: kind, name: name})
+	return uint64(len(m.segs))
+}
+
+func (m *Machine) seg(id uint64) *segment {
+	if id == 0 || id > uint64(len(m.segs)) {
+		m.fail("invalid pointer (segment %d)", id)
+	}
+	s := m.segs[id-1]
+	if s.freed {
+		m.fail("use of freed memory (%s)", s.name)
+	}
+	return s
+}
+
+func (m *Machine) fail(format string, args ...any) {
+	panic(&RuntimeError{Pos: m.curPos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// checkedSlice returns the byte window [off, off+size) of the pointed-to
+// segment, with bounds checking.
+func (m *Machine) checkedSlice(p uint64, size int64) []byte {
+	if p == 0 {
+		m.fail("null pointer dereference")
+	}
+	if isFnPtr(p) {
+		m.fail("data access through function pointer")
+	}
+	s := m.seg(ptrSeg(p))
+	off := ptrOff(p)
+	if off < 0 || size < 0 || off+size > int64(len(s.data)) {
+		m.fail("out-of-bounds access: offset %d size %d in %q (%d bytes)",
+			off, size, s.name, len(s.data))
+	}
+	return s.data[off : off+size]
+}
+
+// --- loads and stores -------------------------------------------------------
+
+func (m *Machine) loadInt(p uint64, t *ctypes.Type) int64 {
+	b := m.checkedSlice(p, t.Size())
+	switch t.Kind {
+	case ctypes.Char:
+		return int64(int8(b[0]))
+	case ctypes.UChar:
+		return int64(b[0])
+	case ctypes.Short:
+		return int64(int16(binary.LittleEndian.Uint16(b)))
+	case ctypes.UShort:
+		return int64(binary.LittleEndian.Uint16(b))
+	case ctypes.Int:
+		return int64(int32(binary.LittleEndian.Uint32(b)))
+	case ctypes.UInt:
+		return int64(binary.LittleEndian.Uint32(b))
+	case ctypes.Long, ctypes.ULong, ctypes.Ptr:
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+	m.fail("loadInt of non-integer type %s", t)
+	return 0
+}
+
+func (m *Machine) storeInt(p uint64, t *ctypes.Type, v int64) {
+	b := m.checkedSlice(p, t.Size())
+	switch t.Kind {
+	case ctypes.Char, ctypes.UChar:
+		b[0] = byte(v)
+	case ctypes.Short, ctypes.UShort:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case ctypes.Int, ctypes.UInt:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case ctypes.Long, ctypes.ULong, ctypes.Ptr:
+		binary.LittleEndian.PutUint64(b, uint64(v))
+	default:
+		m.fail("storeInt of non-integer type %s", t)
+	}
+}
+
+func (m *Machine) load(p uint64, t *ctypes.Type) value {
+	switch t.Kind {
+	case ctypes.Float:
+		b := m.checkedSlice(p, 4)
+		return floatValue(float64(float32FromBits(binary.LittleEndian.Uint32(b))), t)
+	case ctypes.Double:
+		b := m.checkedSlice(p, 8)
+		return floatValue(float64FromBits(binary.LittleEndian.Uint64(b)), t)
+	case ctypes.Struct:
+		// Struct values are represented by their address.
+		return value{typ: t, i: int64(p)}
+	case ctypes.Array:
+		// Arrays decay to a pointer to their first element.
+		return value{typ: ctypes.PointerTo(t.Elem), i: int64(p)}
+	default:
+		return value{typ: t, i: m.loadInt(p, t)}
+	}
+}
+
+func (m *Machine) store(p uint64, t *ctypes.Type, v value) {
+	switch t.Kind {
+	case ctypes.Float:
+		b := m.checkedSlice(p, 4)
+		binary.LittleEndian.PutUint32(b, float32Bits(float32(v.f)))
+	case ctypes.Double:
+		b := m.checkedSlice(p, 8)
+		binary.LittleEndian.PutUint64(b, float64Bits(v.f))
+	case ctypes.Struct:
+		size := t.Size()
+		dst := m.checkedSlice(p, size)
+		src := m.checkedSlice(uint64(v.i), size)
+		copy(dst, src)
+	default:
+		m.storeInt(p, t, v.i)
+	}
+}
+
+// --- globals ----------------------------------------------------------------
+
+func (m *Machine) initGlobals() {
+	for i, g := range m.sem.Globals {
+		if g.Init != nil {
+			m.storeInit(encodePtr(m.globalSeg[i], 0), g.Obj.Type, g.Init)
+		}
+	}
+}
+
+func (m *Machine) storeInit(p uint64, t *ctypes.Type, in cast.Init) {
+	switch init := in.(type) {
+	case nil:
+	case *cast.ExprInit:
+		if s, ok := init.X.(*cast.StrLit); ok && t.Kind == ctypes.Array {
+			// char arr[] = "text";
+			dst := m.checkedSlice(p, t.Size())
+			n := copy(dst, s.Val)
+			if int64(n) < t.Size() {
+				dst[n] = 0
+			}
+			return
+		}
+		v := m.eval(nil, init.X)
+		m.store(p, t, convert(m, v, t))
+	case *cast.ListInit:
+		switch t.Kind {
+		case ctypes.Array:
+			esz := t.Elem.Size()
+			for i, el := range init.Elems {
+				if int64(i) >= t.Len {
+					break
+				}
+				m.storeInit(p+uint64(int64(i)*esz), t.Elem, el)
+			}
+		case ctypes.Struct:
+			for i, el := range init.Elems {
+				if i >= len(t.Info.Fields) {
+					break
+				}
+				f := t.Info.Fields[i]
+				m.storeInit(p+uint64(f.Offset), f.Type, el)
+			}
+		default:
+			if len(init.Elems) == 1 {
+				m.storeInit(p, t, init.Elems[0])
+			}
+		}
+	}
+}
+
+// --- frames and execution ---------------------------------------------------
+
+type frame struct {
+	fn   *cast.FuncDecl
+	base uint64 // pointer to frame start in the stack segment
+}
+
+func (m *Machine) localAddr(fr *frame, o *cast.Object) uint64 {
+	return fr.base + uint64(o.FrameOffset)
+}
+
+func (m *Machine) callMain(args []string) int {
+	// Build argv.
+	argv := append([]string{"prog"}, args...)
+	ptrs := make([]uint64, len(argv)+1)
+	for i, a := range argv {
+		data := make([]byte, len(a)+1)
+		copy(data, a)
+		ptrs[i] = encodePtr(m.newSegment(data, segString, "argv"), 0)
+	}
+	arrData := make([]byte, 8*len(ptrs))
+	for i, p := range ptrs {
+		binary.LittleEndian.PutUint64(arrData[i*8:], p)
+	}
+	argvPtr := encodePtr(m.newSegment(arrData, segString, "argv[]"), 0)
+
+	main := m.sem.Main
+	var vals []value
+	if len(main.Params) >= 1 {
+		vals = append(vals, value{typ: ctypes.IntType, i: int64(len(argv))})
+	}
+	if len(main.Params) >= 2 {
+		vals = append(vals, value{
+			typ: ctypes.PointerTo(ctypes.PointerTo(ctypes.CharType)),
+			i:   int64(argvPtr),
+		})
+	}
+	ret := m.callFunc(main.Obj.FuncIndex, vals)
+	return int(int32(ret.i))
+}
+
+// callFunc invokes a defined function with already-evaluated arguments.
+func (m *Machine) callFunc(fnIdx int, args []value) value {
+	fd := m.sem.Funcs[fnIdx]
+	g := m.cfgP.Graphs[fnIdx]
+	m.prof.FuncCalls[fnIdx]++
+
+	m.depth++
+	if m.depth > 100_000 {
+		m.fail("call depth exceeded (runaway recursion in %s)", fd.Name())
+	}
+	// Allocate the frame on the simulated stack.
+	base := (m.sp + 15) &^ 15
+	if base+fd.FrameSize > stackSize {
+		m.fail("simulated stack overflow in %s", fd.Name())
+	}
+	savedSP := m.sp
+	m.sp = base + fd.FrameSize
+	fr := &frame{fn: fd, base: encodePtr(m.stackSeg, base)}
+	// Zero the frame (C doesn't, but deterministic garbage aids tests;
+	// programs in the suite do not rely on uninitialized reads).
+	frameBytes := m.seg(m.stackSeg).data[base : base+fd.FrameSize]
+	for i := range frameBytes {
+		frameBytes[i] = 0
+	}
+	// Bind parameters.
+	for i, p := range fd.Params {
+		if i < len(args) {
+			m.store(m.localAddr(fr, p), p.Type, convert(m, args[i], p.Type))
+		}
+	}
+
+	ret := m.execute(fr, g, fnIdx)
+
+	m.sp = savedSP
+	m.depth--
+	retT := fd.Obj.Type.Sig.Ret
+	if retT.Kind == ctypes.Void {
+		return value{typ: ctypes.VoidType}
+	}
+	return convert(m, ret, retT)
+}
+
+// execute runs the function's CFG and returns the raw return value.
+func (m *Machine) execute(fr *frame, g *cfg.Graph, fnIdx int) value {
+	blk := g.Entry
+	counts := m.prof.BlockCounts[fnIdx]
+	factor := m.factor[fnIdx]
+	for {
+		m.steps++
+		if m.steps > m.maxT {
+			m.fail("step budget exceeded (%d block executions)", m.maxT)
+		}
+		counts[blk.ID]++
+		m.cycles += float64(1+len(blk.Stmts)) * factor
+
+		for _, s := range blk.Stmts {
+			m.execStmt(fr, s)
+		}
+		switch blk.Term {
+		case cfg.TermJump:
+			if len(blk.Succs) == 0 {
+				// Fell off a pruned dead-end; treat as return 0.
+				return value{typ: ctypes.IntType}
+			}
+			blk = blk.Succs[0]
+		case cfg.TermCond:
+			m.curPos = blk.Cond.Pos()
+			taken := isTrue(m.eval(fr, blk.Cond))
+			if blk.BranchSite >= 0 {
+				if taken {
+					m.prof.BranchTaken[blk.BranchSite]++
+				} else {
+					m.prof.BranchNot[blk.BranchSite]++
+				}
+			}
+			if taken {
+				blk = blk.Succs[0]
+			} else {
+				blk = blk.Succs[1]
+			}
+		case cfg.TermSwitch:
+			m.curPos = blk.Tag.Pos()
+			tag := m.eval(fr, blk.Tag).i
+			arm := -1
+			def := -1
+			for i, c := range blk.Cases {
+				if c.IsDefault {
+					def = i
+					continue
+				}
+				for _, v := range c.Vals {
+					if v == tag {
+						arm = i
+					}
+				}
+				if arm >= 0 {
+					break
+				}
+			}
+			if arm < 0 {
+				arm = def
+			}
+			if arm < 0 {
+				// No default and no match: fall past the switch. The CFG
+				// always synthesizes a default arm, so this is unreachable,
+				// but guard anyway.
+				m.fail("switch value %d matched no arm and no default", tag)
+			}
+			if blk.SwitchSite >= 0 {
+				m.prof.SwitchArm[blk.SwitchSite][arm]++
+			}
+			blk = blk.Succs[arm]
+		case cfg.TermReturn:
+			if blk.RetVal != nil {
+				m.curPos = blk.RetVal.Pos()
+				return m.eval(fr, blk.RetVal)
+			}
+			return value{typ: ctypes.IntType}
+		}
+	}
+}
+
+func (m *Machine) execStmt(fr *frame, s cast.Stmt) {
+	m.curPos = s.Pos()
+	switch x := s.(type) {
+	case *cast.ExprStmt:
+		m.eval(fr, x.X)
+	case *cast.DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init == nil {
+				continue
+			}
+			addr := m.localAddr(fr, d.Obj)
+			m.storeLocalInit(fr, addr, d.Obj.Type, d.Init)
+		}
+	default:
+		m.fail("interp: unexpected statement %T in basic block", s)
+	}
+}
+
+func (m *Machine) storeLocalInit(fr *frame, p uint64, t *ctypes.Type, in cast.Init) {
+	switch init := in.(type) {
+	case nil:
+	case *cast.ExprInit:
+		if s, ok := init.X.(*cast.StrLit); ok && t.Kind == ctypes.Array {
+			dst := m.checkedSlice(p, t.Size())
+			n := copy(dst, s.Val)
+			if int64(n) < t.Size() {
+				dst[n] = 0
+			}
+			return
+		}
+		v := m.eval(fr, init.X)
+		m.store(p, t, convert(m, v, t))
+	case *cast.ListInit:
+		switch t.Kind {
+		case ctypes.Array:
+			esz := t.Elem.Size()
+			for i, el := range init.Elems {
+				if int64(i) >= t.Len {
+					break
+				}
+				m.storeLocalInit(fr, p+uint64(int64(i)*esz), t.Elem, el)
+			}
+		case ctypes.Struct:
+			for i, el := range init.Elems {
+				if i >= len(t.Info.Fields) {
+					break
+				}
+				f := t.Info.Fields[i]
+				m.storeLocalInit(fr, p+uint64(f.Offset), f.Type, el)
+			}
+		default:
+			if len(init.Elems) == 1 {
+				m.storeLocalInit(fr, p, t, init.Elems[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// formatPrintf renders a printf-style format with the C conventions the
+// benchmark suite uses: %d %i %u %x %X %o %c %s %p %f %e %g %% with
+// optional '-', '0', '+' and ' ' flags, width, precision, and the 'l'
+// length modifier.
+func (m *Machine) formatPrintf(format []byte, args []value) []byte {
+	var out []byte
+	ai := 0
+	nextArg := func() value {
+		if ai >= len(args) {
+			m.fail("printf: not enough arguments for format %q", string(format))
+		}
+		v := args[ai]
+		ai++
+		return v
+	}
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		i++
+		if i >= len(format) {
+			out = append(out, '%')
+			break
+		}
+		if format[i] == '%' {
+			out = append(out, '%')
+			i++
+			continue
+		}
+		// Flags.
+		var flags string
+		for i < len(format) && strings.IndexByte("-0+ #", format[i]) >= 0 {
+			flags += string(format[i])
+			i++
+		}
+		// Width.
+		width := -1
+		if i < len(format) && format[i] == '*' {
+			width = int(nextArg().i)
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				if width < 0 {
+					width = 0
+				}
+				width = width*10 + int(format[i]-'0')
+				i++
+			}
+		}
+		// Precision.
+		prec := -1
+		if i < len(format) && format[i] == '.' {
+			i++
+			prec = 0
+			if i < len(format) && format[i] == '*' {
+				prec = int(nextArg().i)
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					prec = prec*10 + int(format[i]-'0')
+					i++
+				}
+			}
+		}
+		// Length modifiers (l, ll, h) — widths are already canonical.
+		for i < len(format) && (format[i] == 'l' || format[i] == 'h') {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+
+		gofmt := "%"
+		gofmt += strings.ReplaceAll(flags, " ", " ")
+		if width >= 0 {
+			gofmt += fmt.Sprintf("%d", width)
+		}
+		if prec >= 0 {
+			gofmt += fmt.Sprintf(".%d", prec)
+		}
+		switch verb {
+		case 'd', 'i':
+			v := nextArg()
+			out = append(out, fmt.Sprintf(gofmt+"d", v.i)...)
+		case 'u':
+			v := nextArg()
+			out = append(out, fmt.Sprintf(gofmt+"d", uint64(v.i))...)
+		case 'x':
+			v := nextArg()
+			out = append(out, fmt.Sprintf(gofmt+"x", uint64(v.i))...)
+		case 'X':
+			v := nextArg()
+			out = append(out, fmt.Sprintf(gofmt+"X", uint64(v.i))...)
+		case 'o':
+			v := nextArg()
+			out = append(out, fmt.Sprintf(gofmt+"o", uint64(v.i))...)
+		case 'c':
+			v := nextArg()
+			out = append(out, byte(v.i))
+		case 's':
+			v := nextArg()
+			s := m.cString(uint64(v.i))
+			out = append(out, fmt.Sprintf(gofmt+"s", string(s))...)
+		case 'p':
+			v := nextArg()
+			out = append(out, fmt.Sprintf("0x%x", uint64(v.i))...)
+		case 'f', 'F':
+			v := nextArg()
+			if prec < 0 {
+				gofmt += ".6"
+			}
+			out = append(out, fmt.Sprintf(gofmt+"f", toF(v))...)
+		case 'e', 'E':
+			v := nextArg()
+			if prec < 0 {
+				gofmt += ".6"
+			}
+			out = append(out, fmt.Sprintf(gofmt+string(verb), toF(v))...)
+		case 'g', 'G':
+			v := nextArg()
+			out = append(out, fmt.Sprintf(gofmt+string(verb), toF(v))...)
+		default:
+			m.fail("printf: unsupported verb %%%c", verb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package sem
+
+import "staticest/internal/ctypes"
+
+// Builtin names the library functions the interpreter provides. Semantic
+// analysis resolves calls to these names when the program does not define
+// them; the paper's heuristics also consult this set (e.g. calls to
+// abort/exit mark an arm as unlikely).
+var Builtins = map[string]*ctypes.Type{}
+
+func sig(ret *ctypes.Type, params ...*ctypes.Type) *ctypes.Type {
+	return ctypes.FuncOf(&ctypes.Signature{Ret: ret, Params: params})
+}
+
+func vsig(ret *ctypes.Type, params ...*ctypes.Type) *ctypes.Type {
+	return ctypes.FuncOf(&ctypes.Signature{Ret: ret, Params: params, Variadic: true})
+}
+
+func init() {
+	var (
+		vp = ctypes.PointerTo(ctypes.VoidType)
+		cp = ctypes.PointerTo(ctypes.CharType)
+		i  = ctypes.IntType
+		u  = ctypes.UIntType
+		l  = ctypes.LongType
+		d  = ctypes.DoubleType
+		v  = ctypes.VoidType
+	)
+	Builtins["printf"] = vsig(i, cp)
+	Builtins["sprintf"] = vsig(i, cp, cp)
+	Builtins["putchar"] = sig(i, i)
+	Builtins["puts"] = sig(i, cp)
+	Builtins["getchar"] = sig(i)
+	Builtins["malloc"] = sig(vp, l)
+	Builtins["calloc"] = sig(vp, l, l)
+	Builtins["realloc"] = sig(vp, vp, l)
+	Builtins["free"] = sig(v, vp)
+	Builtins["strlen"] = sig(l, cp)
+	Builtins["strcmp"] = sig(i, cp, cp)
+	Builtins["strncmp"] = sig(i, cp, cp, l)
+	Builtins["strcpy"] = sig(cp, cp, cp)
+	Builtins["strncpy"] = sig(cp, cp, cp, l)
+	Builtins["strcat"] = sig(cp, cp, cp)
+	Builtins["strchr"] = sig(cp, cp, i)
+	Builtins["strstr"] = sig(cp, cp, cp)
+	Builtins["memset"] = sig(vp, vp, i, l)
+	Builtins["memcpy"] = sig(vp, vp, vp, l)
+	Builtins["memmove"] = sig(vp, vp, vp, l)
+	Builtins["memcmp"] = sig(i, vp, vp, l)
+	Builtins["atoi"] = sig(i, cp)
+	Builtins["atol"] = sig(l, cp)
+	Builtins["atof"] = sig(d, cp)
+	Builtins["abs"] = sig(i, i)
+	Builtins["labs"] = sig(l, l)
+	Builtins["exit"] = sig(v, i)
+	Builtins["abort"] = sig(v)
+	Builtins["rand"] = sig(i)
+	Builtins["srand"] = sig(v, u)
+	Builtins["sqrt"] = sig(d, d)
+	Builtins["fabs"] = sig(d, d)
+	Builtins["sin"] = sig(d, d)
+	Builtins["cos"] = sig(d, d)
+	Builtins["tan"] = sig(d, d)
+	Builtins["exp"] = sig(d, d)
+	Builtins["log"] = sig(d, d)
+	Builtins["pow"] = sig(d, d, d)
+	Builtins["floor"] = sig(d, d)
+	Builtins["ceil"] = sig(d, d)
+	Builtins["fmod"] = sig(d, d, d)
+	Builtins["isdigit"] = sig(i, i)
+	Builtins["isalpha"] = sig(i, i)
+	Builtins["isalnum"] = sig(i, i)
+	Builtins["isspace"] = sig(i, i)
+	Builtins["isupper"] = sig(i, i)
+	Builtins["islower"] = sig(i, i)
+	Builtins["ispunct"] = sig(i, i)
+	Builtins["toupper"] = sig(i, i)
+	Builtins["tolower"] = sig(i, i)
+}
+
+// NoReturnBuiltins are builtins that never return; the paper's error
+// heuristic treats arms calling them as unlikely.
+var NoReturnBuiltins = map[string]bool{
+	"exit":  true,
+	"abort": true,
+}

@@ -1,0 +1,501 @@
+package sem
+
+import (
+	"staticest/internal/cast"
+	"staticest/internal/ctoken"
+	"staticest/internal/ctypes"
+)
+
+// decay converts array types to pointers and function types to function
+// pointers, as C does in most operand contexts.
+func decay(t *ctypes.Type) *ctypes.Type {
+	switch t.Kind {
+	case ctypes.Array:
+		return ctypes.PointerTo(t.Elem)
+	case ctypes.Func:
+		return ctypes.PointerTo(t)
+	}
+	return t
+}
+
+type exprSetter interface{ SetType(*ctypes.Type) }
+
+func (c *checker) setType(e cast.Expr, t *ctypes.Type) *ctypes.Type {
+	if s, ok := e.(exprSetter); ok {
+		s.SetType(t)
+	}
+	return t
+}
+
+// checkExpr type-checks an expression tree, annotates every node with its
+// type, interns string literals, numbers call sites, and counts
+// address-taken function references. It returns the (undecayed) type, or
+// nil after reporting an error.
+func (c *checker) checkExpr(e cast.Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *cast.IntLit:
+		switch {
+		case x.Unsigned && (x.Long || x.Val > 1<<32-1):
+			return c.setType(x, ctypes.ULongType)
+		case x.Unsigned:
+			return c.setType(x, ctypes.UIntType)
+		case x.Long || (!x.IsChar && x.Val > 1<<31-1):
+			return c.setType(x, ctypes.LongType)
+		default:
+			return c.setType(x, ctypes.IntType)
+		}
+	case *cast.FloatLit:
+		return c.setType(x, ctypes.DoubleType)
+	case *cast.StrLit:
+		key := string(x.Val)
+		idx, ok := c.strIndex[key]
+		if !ok {
+			idx = len(c.prog.Strings)
+			c.strIndex[key] = idx
+			c.prog.Strings = append(c.prog.Strings, x.Val)
+		}
+		x.DataIndex = idx
+		return c.setType(x, ctypes.ArrayOf(ctypes.CharType, int64(len(x.Val))+1))
+	case *cast.Ident:
+		obj := c.curScope.lookup(x.Name)
+		if obj == nil {
+			if bt, ok := Builtins[x.Name]; ok {
+				obj = &cast.Object{
+					Name: x.Name, Kind: cast.ObjFunc, Type: bt,
+					Global: true, FuncIndex: -1, Builtin: true,
+				}
+				c.globals.declare(obj)
+				c.prog.BuiltinsUsed[x.Name] = true
+			} else {
+				c.errorf(x.P, "undeclared identifier %q", x.Name)
+				return nil
+			}
+		}
+		if obj.Builtin {
+			c.prog.BuiltinsUsed[x.Name] = true
+		}
+		x.Obj = obj
+		return c.setType(x, obj.Type)
+	case *cast.Unary:
+		return c.checkUnary(x)
+	case *cast.Postfix:
+		t := c.checkExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !decay(t).IsScalar() {
+			c.errorf(x.P, "cannot increment/decrement value of type %s", t)
+			return nil
+		}
+		c.requireLvalue(x.X)
+		return c.setType(x, t)
+	case *cast.Binary:
+		return c.checkBinary(x)
+	case *cast.Logical:
+		lt := c.checkExpr(x.X)
+		rt := c.checkExpr(x.Y)
+		c.noteFunRef(x.X)
+		c.noteFunRef(x.Y)
+		for _, p := range []struct {
+			t *ctypes.Type
+			e cast.Expr
+		}{{lt, x.X}, {rt, x.Y}} {
+			if p.t != nil && !decay(p.t).IsScalar() {
+				c.errorf(p.e.Pos(), "operand of logical operator has non-scalar type %s", p.t)
+			}
+		}
+		return c.setType(x, ctypes.IntType)
+	case *cast.Cond:
+		ct := c.checkExpr(x.C)
+		if ct != nil && !decay(ct).IsScalar() {
+			c.errorf(x.C.Pos(), "ternary condition has non-scalar type %s", ct)
+		}
+		tt := c.checkExpr(x.Then)
+		ft := c.checkExpr(x.Else)
+		c.noteFunRef(x.Then)
+		c.noteFunRef(x.Else)
+		if tt == nil || ft == nil {
+			return nil
+		}
+		tt, ft = decay(tt), decay(ft)
+		switch {
+		case tt.IsArith() && ft.IsArith():
+			return c.setType(x, ctypes.UsualArith(tt, ft))
+		case tt.Kind == ctypes.Ptr && ft.Kind == ctypes.Ptr:
+			if tt.IsVoidPtr() {
+				return c.setType(x, ft)
+			}
+			return c.setType(x, tt)
+		case tt.Kind == ctypes.Ptr && ft.IsInteger():
+			return c.setType(x, tt) // p : 0
+		case ft.Kind == ctypes.Ptr && tt.IsInteger():
+			return c.setType(x, ft)
+		case tt.Kind == ctypes.Void || ft.Kind == ctypes.Void:
+			return c.setType(x, ctypes.VoidType)
+		default:
+			c.errorf(x.P, "incompatible ternary arms: %s vs %s", tt, ft)
+			return nil
+		}
+	case *cast.Assign:
+		lt := c.checkExpr(x.L)
+		rt := c.checkExpr(x.R)
+		c.noteFunRef(x.R)
+		if lt == nil || rt == nil {
+			return nil
+		}
+		c.requireLvalue(x.L)
+		if lt.Kind == ctypes.Array {
+			c.errorf(x.P, "cannot assign to array value")
+			return nil
+		}
+		if x.Op == cast.Plain {
+			c.checkAssignable(lt, rt, x.R, x.P)
+		} else {
+			op := x.Op.BinOp()
+			dl, dr := decay(lt), decay(rt)
+			if dl.Kind == ctypes.Ptr {
+				if op != cast.Add && op != cast.Sub || !dr.IsInteger() {
+					c.errorf(x.P, "invalid pointer compound assignment %s", x.Op)
+				}
+			} else if !dl.IsArith() || !dr.IsArith() {
+				c.errorf(x.P, "invalid operands to %s: %s and %s", x.Op, lt, rt)
+			} else if (op == cast.Rem || op == cast.And || op == cast.Or ||
+				op == cast.Xor || op == cast.Shl || op == cast.Shr) &&
+				(!dl.IsInteger() || !dr.IsInteger()) {
+				c.errorf(x.P, "operator %s requires integer operands", op)
+			}
+		}
+		return c.setType(x, lt)
+	case *cast.Call:
+		return c.checkCall(x)
+	case *cast.Index:
+		xt := c.checkExpr(x.X)
+		it := c.checkExpr(x.I)
+		if xt == nil || it == nil {
+			return nil
+		}
+		base := decay(xt)
+		if base.Kind != ctypes.Ptr || base.Elem.Kind == ctypes.Void || base.Elem.Kind == ctypes.Func {
+			c.errorf(x.P, "cannot index value of type %s", xt)
+			return nil
+		}
+		if !decay(it).IsInteger() {
+			c.errorf(x.I.Pos(), "array index must be an integer, got %s", it)
+		}
+		return c.setType(x, base.Elem)
+	case *cast.Member:
+		xt := c.checkExpr(x.X)
+		if xt == nil {
+			return nil
+		}
+		var st *ctypes.Type
+		if x.Arrow {
+			d := decay(xt)
+			if d.Kind != ctypes.Ptr || d.Elem.Kind != ctypes.Struct {
+				c.errorf(x.P, "-> applied to non-struct-pointer type %s", xt)
+				return nil
+			}
+			st = d.Elem
+		} else {
+			if xt.Kind != ctypes.Struct {
+				c.errorf(x.P, ". applied to non-struct type %s", xt)
+				return nil
+			}
+			st = xt
+		}
+		if !st.Info.Complete {
+			c.errorf(x.P, "use of incomplete struct %s", st)
+			return nil
+		}
+		f := st.Info.FieldByName(x.Name)
+		if f == nil {
+			c.errorf(x.P, "struct %s has no field %q", st, x.Name)
+			return nil
+		}
+		x.Field = f
+		return c.setType(x, f.Type)
+	case *cast.SizeofExpr:
+		t := c.checkExpr(x.X)
+		if t != nil && t.Size() == 0 {
+			c.errorf(x.P, "sizeof applied to incomplete type %s", t)
+		}
+		return c.setType(x, ctypes.LongType)
+	case *cast.SizeofType:
+		if x.Of.Size() == 0 {
+			c.errorf(x.P, "sizeof applied to incomplete type %s", x.Of)
+		}
+		return c.setType(x, ctypes.LongType)
+	case *cast.CastExpr:
+		t := c.checkExpr(x.X)
+		c.noteFunRef(x.X)
+		if t != nil {
+			src := decay(t)
+			dst := x.To
+			ok := dst.Kind == ctypes.Void ||
+				(src.IsScalar() && dst.IsScalar())
+			if !ok {
+				c.errorf(x.P, "invalid cast from %s to %s", t, x.To)
+			}
+			if dst.Kind == ctypes.Ptr && src.IsFloat() ||
+				src.Kind == ctypes.Ptr && dst.IsFloat() {
+				c.errorf(x.P, "cannot convert between pointer and floating type")
+			}
+		}
+		return c.setType(x, x.To)
+	case *cast.Comma:
+		c.checkExpr(x.X)
+		t := c.checkExpr(x.Y)
+		if t == nil {
+			return nil
+		}
+		return c.setType(x, t)
+	}
+	c.errorf(e.Pos(), "unhandled expression %T", e)
+	return nil
+}
+
+func (c *checker) checkUnary(x *cast.Unary) *ctypes.Type {
+	t := c.checkExpr(x.X)
+	if t == nil {
+		return nil
+	}
+	switch x.Op {
+	case cast.Neg:
+		if !decay(t).IsArith() {
+			c.errorf(x.P, "unary - on non-arithmetic type %s", t)
+			return nil
+		}
+		if t.IsInteger() {
+			return c.setType(x, ctypes.Promote(t))
+		}
+		return c.setType(x, t)
+	case cast.BitNot:
+		if !decay(t).IsInteger() {
+			c.errorf(x.P, "~ on non-integer type %s", t)
+			return nil
+		}
+		return c.setType(x, ctypes.Promote(t))
+	case cast.LogNot:
+		if !decay(t).IsScalar() {
+			c.errorf(x.P, "! on non-scalar type %s", t)
+			return nil
+		}
+		return c.setType(x, ctypes.IntType)
+	case cast.Deref:
+		d := decay(t)
+		if d.Kind != ctypes.Ptr {
+			c.errorf(x.P, "cannot dereference non-pointer type %s", t)
+			return nil
+		}
+		if d.Elem.Kind == ctypes.Void {
+			c.errorf(x.P, "cannot dereference void*")
+			return nil
+		}
+		return c.setType(x, d.Elem)
+	case cast.Addr:
+		if id, ok := x.X.(*cast.Ident); ok && id.Obj != nil && id.Obj.Kind == cast.ObjFunc {
+			id.Obj.AddrTakenCount++
+			c.noteAddrTaken(id.Obj)
+			return c.setType(x, ctypes.PointerTo(id.Obj.Type))
+		}
+		c.requireLvalue(x.X)
+		return c.setType(x, ctypes.PointerTo(t))
+	case cast.PreInc, cast.PreDec:
+		if !decay(t).IsScalar() {
+			c.errorf(x.P, "cannot increment/decrement value of type %s", t)
+			return nil
+		}
+		c.requireLvalue(x.X)
+		return c.setType(x, t)
+	}
+	c.errorf(x.P, "unhandled unary operator %s", x.Op)
+	return nil
+}
+
+func (c *checker) checkBinary(x *cast.Binary) *ctypes.Type {
+	lt := c.checkExpr(x.X)
+	rt := c.checkExpr(x.Y)
+	c.noteFunRef(x.X)
+	c.noteFunRef(x.Y)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	l, r := decay(lt), decay(rt)
+	switch x.Op {
+	case cast.Add:
+		switch {
+		case l.IsArith() && r.IsArith():
+			return c.setType(x, ctypes.UsualArith(l, r))
+		case l.Kind == ctypes.Ptr && r.IsInteger():
+			return c.setType(x, l)
+		case r.Kind == ctypes.Ptr && l.IsInteger():
+			return c.setType(x, r)
+		}
+	case cast.Sub:
+		switch {
+		case l.IsArith() && r.IsArith():
+			return c.setType(x, ctypes.UsualArith(l, r))
+		case l.Kind == ctypes.Ptr && r.IsInteger():
+			return c.setType(x, l)
+		case l.Kind == ctypes.Ptr && r.Kind == ctypes.Ptr:
+			return c.setType(x, ctypes.LongType)
+		}
+	case cast.Mul, cast.Div:
+		if l.IsArith() && r.IsArith() {
+			return c.setType(x, ctypes.UsualArith(l, r))
+		}
+	case cast.Rem, cast.And, cast.Or, cast.Xor:
+		if l.IsInteger() && r.IsInteger() {
+			return c.setType(x, ctypes.UsualArith(l, r))
+		}
+	case cast.Shl, cast.Shr:
+		if l.IsInteger() && r.IsInteger() {
+			return c.setType(x, ctypes.Promote(l))
+		}
+	case cast.Lt, cast.Gt, cast.Le, cast.Ge, cast.Eq, cast.Ne:
+		ok := (l.IsArith() && r.IsArith()) ||
+			(l.Kind == ctypes.Ptr && r.Kind == ctypes.Ptr) ||
+			(l.Kind == ctypes.Ptr && r.IsInteger()) ||
+			(r.Kind == ctypes.Ptr && l.IsInteger())
+		if ok {
+			return c.setType(x, ctypes.IntType)
+		}
+	}
+	c.errorf(x.P, "invalid operands to %s: %s and %s", x.Op, lt, rt)
+	return nil
+}
+
+func (c *checker) checkCall(x *cast.Call) *ctypes.Type {
+	// Direct call to a named function does not count as taking its
+	// address; anything else referencing a function name does.
+	var ft *ctypes.Type
+	if id, ok := x.Fun.(*cast.Ident); ok {
+		ft = c.checkExpr(id)
+	} else {
+		ft = c.checkExpr(x.Fun)
+	}
+	if ft == nil {
+		return nil
+	}
+	d := decay(ft)
+	if d.Kind != ctypes.Ptr || d.Elem.Kind != ctypes.Func {
+		c.errorf(x.P, "called object has non-function type %s", ft)
+		return nil
+	}
+	sig := d.Elem.Sig
+	if !sig.Unknown {
+		if len(x.Args) < len(sig.Params) ||
+			(len(x.Args) > len(sig.Params) && !sig.Variadic) {
+			c.errorf(x.P, "call has %d arguments, want %d", len(x.Args), len(sig.Params))
+		}
+	}
+	for i, a := range x.Args {
+		at := c.checkExpr(a)
+		c.noteFunRef(a)
+		if at == nil {
+			continue
+		}
+		if at.Kind == ctypes.Struct {
+			c.errorf(a.Pos(), "passing struct by value (unsupported)")
+		}
+		if !sig.Unknown && i < len(sig.Params) {
+			c.checkAssignable(sig.Params[i], at, a, a.Pos())
+		}
+	}
+
+	// Number the site: direct calls to defined functions and all
+	// indirect calls participate in the call graph; builtin calls do not.
+	callee := x.Callee()
+	switch {
+	case callee != nil && callee.Builtin:
+		x.SiteID = -1
+	case callee != nil && callee.FuncIndex < 0 && c.prog.FuncByName[callee.Name] == nil:
+		// Declared extern but never defined and not a builtin.
+		c.errorf(x.P, "call to undefined function %q", callee.Name)
+		x.SiteID = -1
+	default:
+		if callee != nil {
+			// Re-point at the defining object if the parse bound a
+			// prototype object.
+			if fd := c.prog.FuncByName[callee.Name]; fd != nil {
+				callee = fd.Obj
+				if id, ok := x.Fun.(*cast.Ident); ok {
+					id.Obj = callee
+				}
+			}
+		}
+		if c.cur == nil {
+			c.errorf(x.P, "call in global initializer")
+			return nil
+		}
+		site := &CallSite{ID: c.callID, Call: x, Caller: c.cur, Callee: callee}
+		x.SiteID = c.callID
+		c.callID++
+		c.prog.CallSites = append(c.prog.CallSites, site)
+		c.prog.CallSitesOf[c.cur] = append(c.prog.CallSitesOf[c.cur], site)
+	}
+	return c.setType(x, sig.Ret)
+}
+
+// noteFunRef records an implicit function-to-pointer decay: a function
+// name appearing anywhere other than as the callee of a direct call.
+func (c *checker) noteFunRef(e cast.Expr) {
+	if id, ok := e.(*cast.Ident); ok && id.Obj != nil && id.Obj.Kind == cast.ObjFunc {
+		id.Obj.AddrTakenCount++
+		c.noteAddrTaken(id.Obj)
+	}
+}
+
+func (c *checker) noteAddrTaken(o *cast.Object) {
+	// Record against the defining object when one exists.
+	if fd := c.prog.FuncByName[o.Name]; fd != nil && fd.Obj != o {
+		fd.Obj.AddrTakenCount++
+		o = fd.Obj
+	}
+	c.addrTaken[o] = true
+}
+
+func (c *checker) requireLvalue(e cast.Expr) {
+	switch x := e.(type) {
+	case *cast.Ident:
+		if x.Obj != nil && x.Obj.Kind == cast.ObjFunc {
+			c.errorf(x.P, "function %q is not an lvalue", x.Name)
+		}
+	case *cast.Unary:
+		if x.Op != cast.Deref {
+			c.errorf(e.Pos(), "expression is not an lvalue")
+		}
+	case *cast.Index, *cast.Member:
+	default:
+		c.errorf(e.Pos(), "expression is not an lvalue")
+	}
+}
+
+// checkAssignable reports an error when a value of type rt (possibly the
+// literal expression r) cannot be assigned to lt.
+func (c *checker) checkAssignable(lt, rt *ctypes.Type, r cast.Expr, pos ctoken.Pos) {
+	l, rd := decay(lt), decay(rt)
+	switch {
+	case l.IsArith() && rd.IsArith():
+		return
+	case l.Kind == ctypes.Ptr && rd.Kind == ctypes.Ptr:
+		// void* converts freely; otherwise require matching pointee or
+		// accept silently for char*/byte-ish aliasing (the subset is
+		// permissive here, as C compilers are with warnings).
+		return
+	case l.Kind == ctypes.Ptr && rd.IsInteger():
+		if lit, ok := r.(*cast.IntLit); ok && lit.Val == 0 {
+			return // NULL
+		}
+		return // permissive: integer to pointer (used by hashing code)
+	case l.IsInteger() && rd.Kind == ctypes.Ptr:
+		return // permissive
+	case l.Kind == ctypes.Struct && rd.Kind == ctypes.Struct:
+		if ctypes.Equal(l, rd) {
+			return
+		}
+	}
+	c.errorf(pos, "cannot assign value of type %s to %s", rt, lt)
+}

@@ -1,0 +1,173 @@
+package suite
+
+// Alvinn mirrors SPEC92's alvinn: neural-network back-propagation
+// training. Numeric code with simple, highly predictable loop nests —
+// the class of program where the paper's fixed loop-count guess is
+// weakest but block ordering is easy.
+func Alvinn() *Program {
+	return &Program{
+		Name:        "alvinn",
+		Description: "Back-propagation on a neural net",
+		Source:      alvinnSrc,
+		Inputs: []Input{
+			{Name: "epochs4", Args: []string{"4", "17"}},
+			{Name: "epochs6", Args: []string{"6", "42"}},
+			{Name: "epochs8", Args: []string{"8", "7"}},
+			{Name: "epochs5", Args: []string{"5", "99"}},
+		},
+	}
+}
+
+const alvinnSrc = `/* alvinn: back-propagation training on a small MLP. */
+#define NIN 16
+#define NHID 12
+#define NOUT 4
+#define NPAT 24
+#define RATE 0.25
+
+double w1[NHID][NIN];
+double w2[NOUT][NHID];
+double b1[NHID];
+double b2[NOUT];
+double hid[NHID];
+double out[NOUT];
+double dhid[NHID];
+double dout[NOUT];
+double pat_in[NPAT][NIN];
+double pat_out[NPAT][NOUT];
+unsigned long seed;
+
+double frand(void) {
+	seed = seed * 1103515245 + 12345;
+	return (double)((seed >> 16) & 32767) / 32767.0 - 0.5;
+}
+
+double squash(double x) {
+	return 1.0 / (1.0 + exp(-x));
+}
+
+void init_weights(void) {
+	int i, j;
+	for (i = 0; i < NHID; i++) {
+		for (j = 0; j < NIN; j++)
+			w1[i][j] = frand();
+		b1[i] = frand();
+	}
+	for (i = 0; i < NOUT; i++) {
+		for (j = 0; j < NHID; j++)
+			w2[i][j] = frand();
+		b2[i] = frand();
+	}
+}
+
+void gen_patterns(void) {
+	int p, i, k;
+	for (p = 0; p < NPAT; p++) {
+		for (i = 0; i < NIN; i++)
+			pat_in[p][i] = frand();
+		k = p % NOUT;
+		for (i = 0; i < NOUT; i++)
+			pat_out[p][i] = (i == k) ? 0.9 : 0.1;
+	}
+}
+
+void forward(double *x) {
+	int i, j;
+	double s;
+	for (i = 0; i < NHID; i++) {
+		s = b1[i];
+		for (j = 0; j < NIN; j++)
+			s += w1[i][j] * x[j];
+		hid[i] = squash(s);
+	}
+	for (i = 0; i < NOUT; i++) {
+		s = b2[i];
+		for (j = 0; j < NHID; j++)
+			s += w2[i][j] * hid[j];
+		out[i] = squash(s);
+	}
+}
+
+void backward(double *target) {
+	int i, j;
+	double s;
+	for (i = 0; i < NOUT; i++)
+		dout[i] = (target[i] - out[i]) * out[i] * (1.0 - out[i]);
+	for (j = 0; j < NHID; j++) {
+		s = 0.0;
+		for (i = 0; i < NOUT; i++)
+			s += dout[i] * w2[i][j];
+		dhid[j] = s * hid[j] * (1.0 - hid[j]);
+	}
+}
+
+void update(double *x) {
+	int i, j;
+	for (i = 0; i < NOUT; i++) {
+		for (j = 0; j < NHID; j++)
+			w2[i][j] += RATE * dout[i] * hid[j];
+		b2[i] += RATE * dout[i];
+	}
+	for (i = 0; i < NHID; i++) {
+		for (j = 0; j < NIN; j++)
+			w1[i][j] += RATE * dhid[i] * x[j];
+		b1[i] += RATE * dhid[i];
+	}
+}
+
+double pattern_error(double *target) {
+	int i;
+	double e, d;
+	e = 0.0;
+	for (i = 0; i < NOUT; i++) {
+		d = target[i] - out[i];
+		e += d * d;
+	}
+	return e;
+}
+
+double train_epoch(void) {
+	int p;
+	double total;
+	total = 0.0;
+	for (p = 0; p < NPAT; p++) {
+		forward(pat_in[p]);
+		backward(pat_out[p]);
+		update(pat_in[p]);
+		total += pattern_error(pat_out[p]);
+	}
+	return total;
+}
+
+int classify(double *x) {
+	int i, best;
+	forward(x);
+	best = 0;
+	for (i = 1; i < NOUT; i++)
+		if (out[i] > out[best])
+			best = i;
+	return best;
+}
+
+int main(int argc, char **argv) {
+	int epochs, e, p, hits;
+	double err;
+	if (argc < 3) {
+		printf("usage: alvinn epochs seed\n");
+		return 2;
+	}
+	epochs = atoi(argv[1]);
+	seed = atoi(argv[2]);
+	init_weights();
+	gen_patterns();
+	err = 0.0;
+	for (e = 0; e < epochs; e++)
+		err = train_epoch();
+	hits = 0;
+	for (p = 0; p < NPAT; p++)
+		if (classify(pat_in[p]) == p % NOUT)
+			hits++;
+	printf("epochs %d error %.4f hits %d/%d\n", epochs, err, hits, NPAT);
+	return 0;
+}
+`

@@ -1,0 +1,158 @@
+package suite
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Awk mirrors the suite's awk: pattern matching over text lines — a
+// Pike-style regex matcher plus field splitting and numeric
+// accumulation. Heavily branchy character code.
+func Awk() *Program {
+	return &Program{
+		Name:        "awk",
+		Description: "Unix pattern-matching utility",
+		Source:      awkSrc,
+		Inputs: []Input{
+			{Name: "literal", Args: []string{"error"}, Stdin: awkText(1)},
+			{Name: "anchored", Args: []string{"^warn"}, Stdin: awkText(2)},
+			{Name: "star", Args: []string{"re*quest"}, Stdin: awkText(3)},
+			{Name: "dot", Args: []string{"c.de"}, Stdin: awkText(4)},
+		},
+	}
+}
+
+func awkText(seed uint64) []byte {
+	templates := []string{
+		"error in module %d at line %d",
+		"warning: code %d exceeded quota %d",
+		"request %d served in %d ms",
+		"reeequest %d retried %d times",
+		"info: user %d logged in from host %d",
+		"code %d path /srv/data/%d",
+		"warn %d disk usage at %d percent",
+		"debug trace %d depth %d",
+	}
+	var b bytes.Buffer
+	s := seed
+	for i := 0; i < 260; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		t := templates[(s>>33)%uint64(len(templates))]
+		fmt.Fprintf(&b, t, (s>>17)%1000, (s>>40)%500)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+const awkSrc = `/* awk: match a pattern against stdin lines, split fields, sum numbers. */
+#define MAXLINE 256
+#define MAXFIELDS 32
+
+char line[MAXLINE];
+char *fields[MAXFIELDS];
+int nfields;
+long matched_lines;
+long total_lines;
+long field_total;
+long numeric_sum;
+
+int match_here(char *pat, char *text);
+
+int match_star(int c, char *pat, char *text) {
+	do {
+		if (match_here(pat, text))
+			return 1;
+	} while (*text != 0 && (*text++ == c || c == '.'));
+	return 0;
+}
+
+int match_here(char *pat, char *text) {
+	if (pat[0] == 0)
+		return 1;
+	if (pat[1] == '*')
+		return match_star(pat[0], pat + 2, text);
+	if (pat[0] == '$' && pat[1] == 0)
+		return *text == 0;
+	if (*text != 0 && (pat[0] == '.' || pat[0] == *text))
+		return match_here(pat + 1, text + 1);
+	return 0;
+}
+
+int match(char *pat, char *text) {
+	if (pat[0] == '^')
+		return match_here(pat + 1, text);
+	do {
+		if (match_here(pat, text))
+			return 1;
+	} while (*text++ != 0);
+	return 0;
+}
+
+int read_line(void) {
+	int c, n = 0;
+	while ((c = getchar()) != -1 && c != '\n') {
+		if (n < MAXLINE - 1)
+			line[n++] = c;
+	}
+	line[n] = 0;
+	if (c == -1 && n == 0)
+		return 0;
+	return 1;
+}
+
+void split_fields(void) {
+	char *p = line;
+	nfields = 0;
+	for (;;) {
+		while (*p == ' ' || *p == '\t')
+			*p++ = 0;
+		if (*p == 0)
+			return;
+		if (nfields < MAXFIELDS)
+			fields[nfields++] = p;
+		while (*p != 0 && *p != ' ' && *p != '\t')
+			p++;
+	}
+}
+
+int is_number(char *s) {
+	if (*s == '-')
+		s++;
+	if (*s == 0)
+		return 0;
+	while (*s) {
+		if (*s < '0' || *s > '9')
+			return 0;
+		s++;
+	}
+	return 1;
+}
+
+void accumulate(void) {
+	int i;
+	field_total += nfields;
+	for (i = 0; i < nfields; i++)
+		if (is_number(fields[i]))
+			numeric_sum += atol(fields[i]);
+}
+
+int main(int argc, char **argv) {
+	char *pat;
+	if (argc < 2) {
+		printf("usage: awk pattern\n");
+		return 2;
+	}
+	pat = argv[1];
+	while (read_line()) {
+		total_lines++;
+		if (match(pat, line)) {
+			matched_lines++;
+			split_fields();
+			accumulate();
+		}
+	}
+	printf("matched %ld/%ld lines fields %ld sum %ld\n",
+	       matched_lines, total_lines, field_total, numeric_sum);
+	return 0;
+}
+`

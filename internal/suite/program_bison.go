@@ -1,0 +1,238 @@
+package suite
+
+// Bison mirrors the suite's bison: grammar analysis for parser
+// generation — nullable computation and FIRST/FOLLOW set fixpoints over
+// bitsets, the iterative closure style of parser generators.
+func Bison() *Program {
+	return &Program{
+		Name:        "bison",
+		Description: "LALR(1) parser generator (grammar set analysis)",
+		Source:      bisonSrc,
+		Inputs: []Input{
+			{Name: "expr", Stdin: []byte(
+				"E:E+T\nE:T\nT:T*F\nT:F\nF:(E)\nF:x\nF:-F\nE:E-T\nT:T/F\nF:fF\n" +
+					"G:E=E\nG:E<E\nG:G&G\nG:G|G\nH:[G]\nH:HH\nH:\n.\n")},
+			{Name: "stmt", Stdin: []byte(
+				"S:iCtSeS\nS:iCtS\nS:a\nS:wCdS\nS:{L}\nL:SL\nL:\nC:b\nC:CoC\nC:nC\n" +
+					"C:(C)\nS:rE;\nE:v\nE:E+v\nE:E*v\nS:v=E;\n.\n")},
+			{Name: "nullable", Stdin: []byte(
+				"A:BC\nB:b\nB:\nC:c\nC:\nA:aA\nD:AB\nD:\nF:DCA\nG:FFF\nG:g\n" +
+					"H:GD\nI:HA\nJ:IB\nK:JC\n.\n")},
+			{Name: "big", Stdin: []byte(
+				"P:DS\nD:dD\nD:\nS:sS\nS:e\nE:E+T\nE:T\nT:T*F\nT:F\nF:(E)\nF:n\nS:xE\n" +
+					"Q:PP\nQ:q\nR:QS\nR:\nU:RE\nU:uU\nV:UT\nW:VF\nX:WE\nY:XD\nZ:YP\n.\n")},
+		},
+	}
+}
+
+const bisonSrc = `/* bison: nullable/FIRST/FOLLOW fixpoints over a small grammar.
+ * Grammar lines look like "E:E+T"; uppercase letters are nonterminals,
+ * everything else is a terminal, and an empty right side is epsilon.
+ * A line containing "." ends the grammar.
+ */
+#define MAXRULES 64
+#define MAXRHS 16
+#define NSYM 128
+
+int rule_lhs[MAXRULES];
+char rule_rhs[MAXRULES][MAXRHS];
+int rule_len[MAXRULES];
+int nrules;
+int nullable[NSYM];
+unsigned long first_set[NSYM];
+unsigned long follow_set[NSYM];
+int is_nonterm[NSYM];
+char start_sym;
+long passes;
+
+int term_bit(int c) {
+	/* terminals map onto bits 0..63 by a simple fold */
+	return c % 64;
+}
+
+void read_grammar(void) {
+	int c, state, r;
+	state = 0; /* 0 = at line start, 1 = after lhs, 2 = in rhs */
+	r = -1;
+	for (;;) {
+		c = getchar();
+		if (c == -1)
+			break;
+		if (c == '\n') {
+			state = 0;
+			continue;
+		}
+		if (state == 0) {
+			if (c == '.')
+				return;
+			if (c < 'A' || c > 'Z') {
+				printf("bad lhs %c\n", c);
+				exit(1);
+			}
+			if (nrules >= MAXRULES) {
+				printf("too many rules\n");
+				exit(1);
+			}
+			r = nrules++;
+			rule_lhs[r] = c;
+			rule_len[r] = 0;
+			is_nonterm[c] = 1;
+			if (start_sym == 0)
+				start_sym = c;
+			state = 1;
+			continue;
+		}
+		if (state == 1) {
+			if (c != ':') {
+				printf("expected :\n");
+				exit(1);
+			}
+			state = 2;
+			continue;
+		}
+		if (rule_len[r] >= MAXRHS) {
+			printf("rhs too long\n");
+			exit(1);
+		}
+		rule_rhs[r][rule_len[r]++] = c;
+		if (c >= 'A' && c <= 'Z')
+			is_nonterm[c] = 1;
+	}
+}
+
+void compute_nullable(void) {
+	int changed, r, i, all;
+	changed = 1;
+	while (changed) {
+		changed = 0;
+		passes++;
+		for (r = 0; r < nrules; r++) {
+			if (nullable[rule_lhs[r]])
+				continue;
+			all = 1;
+			for (i = 0; i < rule_len[r]; i++) {
+				int s = rule_rhs[r][i];
+				if (!(is_nonterm[s] && nullable[s])) {
+					all = 0;
+					break;
+				}
+			}
+			if (all) {
+				nullable[rule_lhs[r]] = 1;
+				changed = 1;
+			}
+		}
+	}
+}
+
+void compute_first(void) {
+	int changed, r, i;
+	unsigned long before;
+	changed = 1;
+	while (changed) {
+		changed = 0;
+		passes++;
+		for (r = 0; r < nrules; r++) {
+			int lhs = rule_lhs[r];
+			before = first_set[lhs];
+			for (i = 0; i < rule_len[r]; i++) {
+				int s = rule_rhs[r][i];
+				if (!is_nonterm[s]) {
+					first_set[lhs] |= 1UL << term_bit(s);
+					break;
+				}
+				first_set[lhs] |= first_set[s];
+				if (!nullable[s])
+					break;
+			}
+			if (first_set[lhs] != before)
+				changed = 1;
+		}
+	}
+}
+
+unsigned long first_of_suffix(int r, int from, int *suffix_nullable) {
+	unsigned long f = 0;
+	int i;
+	*suffix_nullable = 1;
+	for (i = from; i < rule_len[r]; i++) {
+		int s = rule_rhs[r][i];
+		if (!is_nonterm[s]) {
+			f |= 1UL << term_bit(s);
+			*suffix_nullable = 0;
+			return f;
+		}
+		f |= first_set[s];
+		if (!nullable[s]) {
+			*suffix_nullable = 0;
+			return f;
+		}
+	}
+	return f;
+}
+
+void compute_follow(void) {
+	int changed, r, i, sn;
+	unsigned long before;
+	follow_set[start_sym] |= 1;
+	changed = 1;
+	while (changed) {
+		changed = 0;
+		passes++;
+		for (r = 0; r < nrules; r++) {
+			for (i = 0; i < rule_len[r]; i++) {
+				int s = rule_rhs[r][i];
+				if (!is_nonterm[s])
+					continue;
+				before = follow_set[s];
+				follow_set[s] |= first_of_suffix(r, i + 1, &sn);
+				if (sn)
+					follow_set[s] |= follow_set[rule_lhs[r]];
+				if (follow_set[s] != before)
+					changed = 1;
+			}
+		}
+	}
+}
+
+int popcount64(unsigned long x) {
+	int n = 0;
+	while (x) {
+		n++;
+		x = x & (x - 1);
+	}
+	return n;
+}
+
+void report(void) {
+	int s, nn = 0, nl = 0;
+	long fsum = 0, wsum = 0;
+	for (s = 'A'; s <= 'Z'; s++) {
+		if (!is_nonterm[s])
+			continue;
+		nn++;
+		if (nullable[s])
+			nl++;
+		fsum += popcount64(first_set[s]);
+		wsum += popcount64(follow_set[s]);
+		printf("%c: first %d follow %d%s\n", s,
+		       popcount64(first_set[s]), popcount64(follow_set[s]),
+		       nullable[s] ? " nullable" : "");
+	}
+	printf("rules %d nonterms %d nullable %d first %ld follow %ld passes %ld\n",
+	       nrules, nn, nl, fsum, wsum, passes);
+}
+
+int main(void) {
+	read_grammar();
+	if (nrules == 0) {
+		printf("empty grammar\n");
+		return 2;
+	}
+	compute_nullable();
+	compute_first();
+	compute_follow();
+	report();
+	return 0;
+}
+`

@@ -1,0 +1,156 @@
+package suite
+
+// Cholesky mirrors the suite's cholesky: factoring a symmetric
+// positive-definite matrix and solving a system — classic numeric code
+// with deeply predictable triangular loop nests.
+func Cholesky() *Program {
+	return &Program{
+		Name:        "cholesky",
+		Description: "Cholesky-factor a sparse matrix",
+		Source:      choleskySrc,
+		Inputs: []Input{
+			{Name: "n16", Args: []string{"16", "3"}},
+			{Name: "n20", Args: []string{"20", "5"}},
+			{Name: "n24", Args: []string{"24", "2"}},
+			{Name: "n28", Args: []string{"28", "7"}},
+		},
+	}
+}
+
+const choleskySrc = `/* cholesky: factor A = L L^T, solve A x = b, check the residual. */
+#define MAXN 32
+
+double a[MAXN][MAXN];
+double l[MAXN][MAXN];
+double b[MAXN];
+double x[MAXN];
+double y[MAXN];
+int n;
+unsigned long seed;
+long flops;
+
+double frand(void) {
+	seed = seed * 1103515245 + 12345;
+	return (double)((seed >> 16) & 32767) / 32767.0;
+}
+
+/* build_spd: A = B B^T + n I is symmetric positive definite. */
+void build_spd(void) {
+	int i, j, k;
+	double bmat[MAXN][MAXN];
+	for (i = 0; i < n; i++)
+		for (j = 0; j < n; j++)
+			bmat[i][j] = frand() - 0.5;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			double s = 0.0;
+			for (k = 0; k < n; k++)
+				s += bmat[i][k] * bmat[j][k];
+			a[i][j] = s;
+		}
+		a[i][i] += n;
+	}
+	for (i = 0; i < n; i++)
+		b[i] = frand() * 10.0 - 5.0;
+}
+
+int factor(void) {
+	int i, j, k;
+	double s;
+	for (j = 0; j < n; j++) {
+		s = a[j][j];
+		for (k = 0; k < j; k++) {
+			s -= l[j][k] * l[j][k];
+			flops += 2;
+		}
+		if (s <= 0.0)
+			return 0;
+		l[j][j] = sqrt(s);
+		for (i = j + 1; i < n; i++) {
+			s = a[i][j];
+			for (k = 0; k < j; k++) {
+				s -= l[i][k] * l[j][k];
+				flops += 2;
+			}
+			l[i][j] = s / l[j][j];
+			flops += 1;
+		}
+	}
+	return 1;
+}
+
+void forward_sub(void) {
+	int i, k;
+	double s;
+	for (i = 0; i < n; i++) {
+		s = b[i];
+		for (k = 0; k < i; k++)
+			s -= l[i][k] * y[k];
+		y[i] = s / l[i][i];
+	}
+}
+
+void back_sub(void) {
+	int i, k;
+	double s;
+	for (i = n - 1; i >= 0; i--) {
+		s = y[i];
+		for (k = i + 1; k < n; k++)
+			s -= l[k][i] * x[k];
+		x[i] = s / l[i][i];
+	}
+}
+
+double residual(void) {
+	int i, k;
+	double worst, r;
+	worst = 0.0;
+	for (i = 0; i < n; i++) {
+		r = -b[i];
+		for (k = 0; k < n; k++)
+			r += a[i][k] * x[k];
+		if (r < 0.0)
+			r = -r;
+		if (r > worst)
+			worst = r;
+	}
+	return worst;
+}
+
+double det_from_factor(void) {
+	int i;
+	double d = 1.0;
+	for (i = 0; i < n; i++)
+		d *= l[i][i] * l[i][i];
+	return d;
+}
+
+int main(int argc, char **argv) {
+	double res;
+	if (argc < 3) {
+		printf("usage: cholesky n seed\n");
+		return 2;
+	}
+	n = atoi(argv[1]);
+	seed = atoi(argv[2]);
+	if (n < 2 || n > MAXN) {
+		printf("n out of range\n");
+		return 2;
+	}
+	build_spd();
+	if (!factor()) {
+		printf("matrix not positive definite\n");
+		return 1;
+	}
+	forward_sub();
+	back_sub();
+	res = residual();
+	printf("n %d flops %ld residual %.2e logdet %.4f\n",
+	       n, flops, res, log(det_from_factor()));
+	if (res > 1e-8) {
+		printf("RESIDUAL TOO LARGE\n");
+		return 1;
+	}
+	return 0;
+}
+`

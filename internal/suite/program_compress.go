@@ -1,0 +1,211 @@
+package suite
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Compress mirrors SPEC92's compress: an LZW coder whose run time is
+// dominated by 4 of its 16 functions — the shape the paper's Figure 10
+// selective-optimization experiment depends on.
+func Compress() *Program {
+	timing := compressInput("timing", 9001, 14000)
+	return &Program{
+		Name:        "compress",
+		Description: "Unix compression utility (LZW)",
+		Source:      compressSrc,
+		Inputs: []Input{
+			compressInput("text1", 1, 6000),
+			compressInput("text2", 2, 8000),
+			compressInput("log", 3, 7000),
+			compressInput("mixed", 4, 9000),
+		},
+		TimingInput: &timing,
+	}
+}
+
+// compressInput builds a deterministic pseudo-text with enough repeated
+// structure for LZW to bite.
+func compressInput(name string, seed uint64, size int) Input {
+	words := []string{
+		"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+		"compress", "table", "hash", "entry", "code", "prefix", "token",
+		"stream", "buffer", "output", "input", "reset",
+	}
+	var b bytes.Buffer
+	s := seed
+	for b.Len() < size {
+		s = s*6364136223846793005 + 1442695040888963407
+		w := words[(s>>33)%uint64(len(words))]
+		b.WriteString(w)
+		switch (s >> 17) % 7 {
+		case 0:
+			b.WriteByte('\n')
+		case 1:
+			b.WriteString(", ")
+		default:
+			b.WriteByte(' ')
+		}
+		if (s>>45)%13 == 0 {
+			fmt.Fprintf(&b, "%d ", (s>>20)%10000)
+		}
+	}
+	return Input{Name: name, Stdin: b.Bytes()}
+}
+
+const compressSrc = `/* compress: LZW compression over stdin (statistics only). */
+#define TABLE_SIZE 4096
+#define HASH_SIZE 5003
+#define CODE_BITS 12
+#define END -1
+
+int hash_code[HASH_SIZE];
+int hash_prefix[HASH_SIZE];
+int hash_suffix[HASH_SIZE];
+int next_code;
+int bit_buf;
+int bit_cnt;
+long in_bytes;
+long out_bytes;
+long resets;
+unsigned long checksum;
+int verbose;
+
+void usage(void) {
+	printf("usage: compress [-v]\n");
+	exit(2);
+}
+
+void clear_hash(void) {
+	int i;
+	for (i = 0; i < HASH_SIZE; i++)
+		hash_code[i] = END;
+}
+
+void init_table(void) {
+	next_code = 256;
+	clear_hash();
+}
+
+int hash_slot(int prefix, int c) {
+	int h = (prefix * 31 + c * 7 + 11) % HASH_SIZE;
+	if (h < 0)
+		h += HASH_SIZE;
+	return h;
+}
+
+/* find_code: return the code for (prefix, c), or -(slot+1) if absent. */
+int find_code(int prefix, int c) {
+	int h = hash_slot(prefix, c);
+	while (hash_code[h] != END) {
+		if (hash_prefix[h] == prefix && hash_suffix[h] == c)
+			return hash_code[h];
+		h++;
+		if (h == HASH_SIZE)
+			h = 0;
+	}
+	return -(h + 1);
+}
+
+void add_entry(int slot, int prefix, int c) {
+	hash_code[slot] = next_code;
+	hash_prefix[slot] = prefix;
+	hash_suffix[slot] = c;
+	next_code++;
+}
+
+void checksum_update(int byte_val) {
+	checksum = checksum * 131 + byte_val;
+}
+
+void write_byte(int b) {
+	out_bytes++;
+	checksum_update(b & 255);
+}
+
+void put_bits(int code) {
+	bit_buf = (bit_buf << CODE_BITS) | code;
+	bit_cnt += CODE_BITS;
+	while (bit_cnt >= 8) {
+		bit_cnt -= 8;
+		write_byte((bit_buf >> bit_cnt) & 255);
+	}
+}
+
+void emit(int code) {
+	put_bits(code);
+}
+
+int next_byte(void) {
+	int c = getchar();
+	if (c == END)
+		return END;
+	in_bytes++;
+	return c;
+}
+
+void reset_state(void) {
+	emit(256);
+	init_table();
+	resets++;
+}
+
+int cur_prefix;
+
+/* process_symbol advances the LZW state machine by one input byte. */
+void process_symbol(int c) {
+	int r = find_code(cur_prefix, c);
+	if (r >= 0) {
+		cur_prefix = r;
+		return;
+	}
+	emit(cur_prefix);
+	if (next_code >= TABLE_SIZE) {
+		reset_state();
+	} else {
+		add_entry(-r - 1, cur_prefix, c);
+	}
+	cur_prefix = c;
+}
+
+void finish(void) {
+	if (bit_cnt > 0)
+		write_byte((bit_buf << (8 - bit_cnt)) & 255);
+}
+
+void report(void) {
+	long pct;
+	if (in_bytes == 0) {
+		printf("empty input\n");
+		return;
+	}
+	pct = out_bytes * 100 / in_bytes;
+	printf("in %ld out %ld ratio %ld%% resets %ld check %lu\n",
+	       in_bytes, out_bytes, pct, resets, checksum);
+	if (verbose)
+		printf("codes used %d\n", next_code);
+}
+
+int main(int argc, char **argv) {
+	int c;
+	if (argc > 2)
+		usage();
+	if (argc == 2) {
+		if (strcmp(argv[1], "-v") != 0)
+			usage();
+		verbose = 1;
+	}
+	init_table();
+	cur_prefix = next_byte();
+	if (cur_prefix == END) {
+		report();
+		return 0;
+	}
+	while ((c = next_byte()) != END)
+		process_symbol(c);
+	emit(cur_prefix);
+	finish();
+	report();
+	return 0;
+}
+`

@@ -1,0 +1,134 @@
+package suite
+
+// Ear mirrors SPEC92's ear: simulation of sound processing in the inner
+// ear — a filter bank over a sampled signal. Float-heavy code with long
+// counted loops.
+func Ear() *Program {
+	return &Program{
+		Name:        "ear",
+		Description: "Simulate sound processing in the ear",
+		Source:      earSrc,
+		Inputs: []Input{
+			{Name: "tone", Args: []string{"1", "900"}},
+			{Name: "chirp", Args: []string{"2", "1100"}},
+			{Name: "noise", Args: []string{"3", "800"}},
+			{Name: "mix", Args: []string{"4", "1000"}},
+		},
+	}
+}
+
+const earSrc = `/* ear: cochlear filter-bank simulation over a synthetic signal. */
+#define NSAMP 1200
+#define NCHAN 8
+#define NTAP 16
+#define PI 3.14159265358979
+
+double signal[NSAMP];
+double filtered[NSAMP];
+double taps[NCHAN][NTAP];
+double channel_energy[NCHAN];
+double envelope[NSAMP];
+int mode;
+
+void gen_signal(int n) {
+	int i;
+	double t;
+	for (i = 0; i < n; i++) {
+		t = (double)i / 100.0;
+		if (mode == 1) {
+			signal[i] = sin(2.0 * PI * 4.0 * t);
+		} else if (mode == 2) {
+			signal[i] = sin(2.0 * PI * (2.0 + t) * t);
+		} else if (mode == 3) {
+			signal[i] = sin(12.9898 * i) * 0.8 + sin(78.233 * i) * 0.2;
+		} else {
+			signal[i] = 0.6 * sin(2.0 * PI * 3.0 * t) + 0.4 * sin(2.0 * PI * 9.0 * t);
+		}
+	}
+}
+
+void design_bank(void) {
+	int ch, k;
+	double f, w;
+	for (ch = 0; ch < NCHAN; ch++) {
+		f = 1.0 + ch * 1.5;
+		for (k = 0; k < NTAP; k++) {
+			w = 0.54 - 0.46 * cos(2.0 * PI * k / (NTAP - 1));
+			taps[ch][k] = w * cos(2.0 * PI * f * k / 64.0) / NTAP;
+		}
+	}
+}
+
+void fir_filter(double *coef, int n) {
+	int i, k;
+	double acc;
+	for (i = 0; i < n; i++) {
+		acc = 0.0;
+		for (k = 0; k < NTAP; k++) {
+			if (i - k >= 0)
+				acc += coef[k] * signal[i - k];
+		}
+		filtered[i] = acc;
+	}
+}
+
+void rectify(int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		if (filtered[i] < 0.0)
+			filtered[i] = -filtered[i];
+}
+
+void smooth(int n) {
+	int i;
+	double state;
+	state = 0.0;
+	for (i = 0; i < n; i++) {
+		state = 0.9 * state + 0.1 * filtered[i];
+		envelope[i] = state;
+	}
+}
+
+double band_energy(int n) {
+	int i;
+	double e;
+	e = 0.0;
+	for (i = 0; i < n; i++)
+		e += envelope[i] * envelope[i];
+	return e / n;
+}
+
+int loudest_channel(void) {
+	int ch, best;
+	best = 0;
+	for (ch = 1; ch < NCHAN; ch++)
+		if (channel_energy[ch] > channel_energy[best])
+			best = ch;
+	return best;
+}
+
+int main(int argc, char **argv) {
+	int n, ch;
+	double total;
+	if (argc < 3) {
+		printf("usage: ear mode samples\n");
+		return 2;
+	}
+	mode = atoi(argv[1]);
+	n = atoi(argv[2]);
+	if (n > NSAMP)
+		n = NSAMP;
+	gen_signal(n);
+	design_bank();
+	total = 0.0;
+	for (ch = 0; ch < NCHAN; ch++) {
+		fir_filter(taps[ch], n);
+		rectify(n);
+		smooth(n);
+		channel_energy[ch] = band_energy(n);
+		total += channel_energy[ch];
+	}
+	printf("mode %d loudest %d total %.5f\n", mode, loudest_channel(), total);
+	return 0;
+}
+`

@@ -1,0 +1,238 @@
+package suite
+
+// Eqntott mirrors SPEC92's eqntott: translating boolean equations into
+// truth tables. Recursive-descent expression parsing plus exhaustive
+// enumeration and a sort — branchy integer code.
+func Eqntott() *Program {
+	return &Program{
+		Name:        "eqntott",
+		Description: "Translate boolean functions to truth table",
+		Source:      eqntottSrc,
+		Inputs: []Input{
+			{Name: "basic", Stdin: []byte(
+				"a&b|c\n!a&(b|!c)\na^b&c|d^e\n(a|b)&(c|d)|e&f\n")},
+			{Name: "wide", Stdin: []byte(
+				"a|b|c|d|e|f|g\n(a&b)|(c&d)|(e&f)|g\n!(a&b&c)&(d|e|f|g)\na^b^c^d^e^f\n")},
+			{Name: "deep", Stdin: []byte(
+				"((((a&b)|c)&d)|e)&f|g\n!(!(!(a)))|b&(c|d|e|f)\n(a^b)^(c^d)^(e|f)\na&(b|(c&(d|(e&(f|g)))))|h\n")},
+			{Name: "mixed", Stdin: []byte(
+				"a|!b|c\na|!a&(b|c|d)\n(a|b)&!(a&b)|(c^d)\nc^d^e|f\na&b|c&d|e&f|g&h\na|b&!c|d&!e|f\n")},
+		},
+	}
+}
+
+const eqntottSrc = `/* eqntott: boolean expressions on stdin become truth-table summaries. */
+#define MAXNODE 256
+#define MAXLINE 128
+#define MAXTERMS 512
+#define OP_VAR 0
+#define OP_NOT 1
+#define OP_AND 2
+#define OP_OR 3
+#define OP_XOR 4
+
+int node_op[MAXNODE];
+int node_lhs[MAXNODE];
+int node_rhs[MAXNODE];
+int node_var[MAXNODE];
+int nnodes;
+
+char line[MAXLINE];
+int lpos;
+int used_vars;
+int minterms[MAXTERMS];
+int nterms;
+
+void parse_error(char *msg) {
+	printf("parse error: %s at %d\n", msg, lpos);
+	exit(1);
+}
+
+int new_node(int op, int lhs, int rhs, int v) {
+	if (nnodes >= MAXNODE)
+		parse_error("out of nodes");
+	node_op[nnodes] = op;
+	node_lhs[nnodes] = lhs;
+	node_rhs[nnodes] = rhs;
+	node_var[nnodes] = v;
+	nnodes++;
+	return nnodes - 1;
+}
+
+int peek_ch(void) {
+	while (line[lpos] == ' ' || line[lpos] == '\t')
+		lpos++;
+	return line[lpos];
+}
+
+int parse_or(void);
+
+int parse_atom(void) {
+	int c = peek_ch();
+	if (c == '(') {
+		int e;
+		lpos++;
+		e = parse_or();
+		if (peek_ch() != ')')
+			parse_error("missing )");
+		lpos++;
+		return e;
+	}
+	if (c == '!') {
+		lpos++;
+		return new_node(OP_NOT, parse_atom(), -1, -1);
+	}
+	if (c >= 'a' && c <= 'h') {
+		lpos++;
+		used_vars |= 1 << (c - 'a');
+		return new_node(OP_VAR, -1, -1, c - 'a');
+	}
+	parse_error("expected atom");
+	return -1;
+}
+
+int parse_and(void) {
+	int e = parse_atom();
+	while (peek_ch() == '&') {
+		lpos++;
+		e = new_node(OP_AND, e, parse_atom(), -1);
+	}
+	return e;
+}
+
+int parse_xor(void) {
+	int e = parse_and();
+	while (peek_ch() == '^') {
+		lpos++;
+		e = new_node(OP_XOR, e, parse_and(), -1);
+	}
+	return e;
+}
+
+int parse_or(void) {
+	int e = parse_xor();
+	while (peek_ch() == '|') {
+		lpos++;
+		e = new_node(OP_OR, e, parse_xor(), -1);
+	}
+	return e;
+}
+
+int eval_node(int n, int assign) {
+	int op = node_op[n];
+	if (op == OP_VAR)
+		return (assign >> node_var[n]) & 1;
+	if (op == OP_NOT)
+		return !eval_node(node_lhs[n], assign);
+	if (op == OP_AND)
+		return eval_node(node_lhs[n], assign) && eval_node(node_rhs[n], assign);
+	if (op == OP_XOR)
+		return eval_node(node_lhs[n], assign) ^ eval_node(node_rhs[n], assign);
+	return eval_node(node_lhs[n], assign) || eval_node(node_rhs[n], assign);
+}
+
+int var_count_of(int m) {
+	int n = 0;
+	while (m) {
+		n++;
+		m = m & (m - 1);
+	}
+	return n;
+}
+
+int var_count(void) {
+	return var_count_of(used_vars);
+}
+
+int top_var(void) {
+	int hi = -1, i;
+	for (i = 0; i < 8; i++)
+		if (used_vars & (1 << i))
+			hi = i;
+	return hi;
+}
+
+void enumerate(int root) {
+	int rows, a;
+	rows = 1 << (top_var() + 1);
+	if (top_var() < 0)
+		rows = 1;
+	nterms = 0;
+	for (a = 0; a < rows; a++) {
+		if (eval_node(root, a)) {
+			if (nterms < MAXTERMS)
+				minterms[nterms] = a;
+			nterms++;
+		}
+	}
+}
+
+/* cmp_terms mirrors eqntott's cmppt: order truth-table rows by ones
+   count, then by value. The sort below calls it once per comparison, so
+   it dominates run time exactly as cmppt does in the original. */
+int cmp_terms(int a, int b) {
+	int ca = var_count_of(a);
+	int cb = var_count_of(b);
+	if (ca != cb)
+		return ca - cb;
+	if (a < b)
+		return -1;
+	if (a > b)
+		return 1;
+	return 0;
+}
+
+void sort_terms(void) {
+	/* insertion sort driven by cmp_terms (the "ordering" pass). */
+	int i, j, key;
+	int limit = nterms < MAXTERMS ? nterms : MAXTERMS;
+	for (i = 1; i < limit; i++) {
+		key = minterms[i];
+		j = i - 1;
+		while (j >= 0 && cmp_terms(minterms[j], key) > 0) {
+			minterms[j + 1] = minterms[j];
+			j--;
+		}
+		minterms[j + 1] = key;
+	}
+}
+
+int read_line(void) {
+	int c, n = 0;
+	while ((c = getchar()) != -1 && c != '\n') {
+		if (n < MAXLINE - 1)
+			line[n++] = c;
+	}
+	line[n] = 0;
+	if (c == -1 && n == 0)
+		return 0;
+	return 1;
+}
+
+int main(void) {
+	int root;
+	long total = 0;
+	int eqns = 0;
+	while (read_line()) {
+		if (line[0] == 0)
+			continue;
+		lpos = 0;
+		nnodes = 0;
+		used_vars = 0;
+		root = parse_or();
+		if (peek_ch() != 0)
+			parse_error("trailing junk");
+		enumerate(root);
+		sort_terms();
+		printf("eqn %d vars %d minterms %d", eqns, var_count(), nterms);
+		if (nterms > 0)
+			printf(" first %d last %d", minterms[0],
+			       minterms[(nterms <= MAXTERMS ? nterms : MAXTERMS) - 1]);
+		printf("\n");
+		total += nterms;
+		eqns++;
+	}
+	printf("total %ld over %d equations\n", total, eqns);
+	return 0;
+}
+`

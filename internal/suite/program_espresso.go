@@ -1,0 +1,199 @@
+package suite
+
+// Espresso mirrors SPEC92's espresso: two-level boolean minimization.
+// This member implements the Quine-McCluskey combining step over cube
+// lists — bit manipulation, quadratic merge loops, and data-dependent
+// branching.
+func Espresso() *Program {
+	return &Program{
+		Name:        "espresso",
+		Description: "Minimize boolean functions",
+		Source:      espressoSrc,
+		Inputs: []Input{
+			{Name: "parity4", Stdin: []byte("4\n0 3 5 6 9 10 12 15\n")},
+			{Name: "majority5", Stdin: []byte("5\n7 11 13 14 15 19 21 22 23 25 26 27 28 29 30 31\n")},
+			{Name: "sparse6", Stdin: []byte("6\n0 1 2 3 8 9 10 11 32 33 34 35 40 41 42 43\n")},
+			{Name: "dense5", Stdin: []byte("5\n1 3 5 7 9 11 13 15 17 19 21 23 25 27 29 31 0 4 8 12\n")},
+		},
+	}
+}
+
+const espressoSrc = `/* espresso: Quine-McCluskey prime-implicant generation. */
+#define MAXCUBE 2048
+#define MAXVAR 10
+
+/* A cube is (value, mask): mask bits are "don't care". */
+int cube_val[MAXCUBE];
+int cube_mask[MAXCUBE];
+int cube_used[MAXCUBE];
+int ncubes;
+int nvars;
+
+int prime_val[MAXCUBE];
+int prime_mask[MAXCUBE];
+int nprimes;
+
+int next_val[MAXCUBE];
+int next_mask[MAXCUBE];
+int nnext;
+
+int popcount(int x) {
+	int n = 0;
+	while (x) {
+		n++;
+		x = x & (x - 1);
+	}
+	return n;
+}
+
+int read_int(int *out) {
+	int c, v, got;
+	v = 0;
+	got = 0;
+	c = getchar();
+	while (c == ' ' || c == '\n' || c == '\t')
+		c = getchar();
+	while (c >= '0' && c <= '9') {
+		v = v * 10 + (c - '0');
+		got = 1;
+		c = getchar();
+	}
+	*out = v;
+	return got;
+}
+
+void add_cube(int val, int mask) {
+	if (ncubes >= MAXCUBE) {
+		printf("cube overflow\n");
+		exit(1);
+	}
+	cube_val[ncubes] = val;
+	cube_mask[ncubes] = mask;
+	cube_used[ncubes] = 0;
+	ncubes++;
+}
+
+int dedup_next(int val, int mask) {
+	int i;
+	for (i = 0; i < nnext; i++)
+		if (next_val[i] == val && next_mask[i] == mask)
+			return 1;
+	return 0;
+}
+
+void add_next(int val, int mask) {
+	if (dedup_next(val, mask))
+		return;
+	if (nnext >= MAXCUBE) {
+		printf("next overflow\n");
+		exit(1);
+	}
+	next_val[nnext] = val;
+	next_mask[nnext] = mask;
+	nnext++;
+}
+
+void add_prime(int val, int mask) {
+	int i;
+	for (i = 0; i < nprimes; i++)
+		if (prime_val[i] == val && prime_mask[i] == mask)
+			return;
+	prime_val[nprimes] = val;
+	prime_mask[nprimes] = mask;
+	nprimes++;
+}
+
+/* try_combine: cubes differing in exactly one cared bit merge. */
+int try_combine(int i, int j) {
+	int diff;
+	if (cube_mask[i] != cube_mask[j])
+		return 0;
+	diff = cube_val[i] ^ cube_val[j];
+	if (popcount(diff) != 1)
+		return 0;
+	add_next(cube_val[i] & ~diff, cube_mask[i] | diff);
+	cube_used[i] = 1;
+	cube_used[j] = 1;
+	return 1;
+}
+
+int qm_pass(void) {
+	int i, j, merged;
+	merged = 0;
+	nnext = 0;
+	for (i = 0; i < ncubes; i++)
+		for (j = i + 1; j < ncubes; j++)
+			merged += try_combine(i, j);
+	for (i = 0; i < ncubes; i++)
+		if (!cube_used[i])
+			add_prime(cube_val[i], cube_mask[i]);
+	for (i = 0; i < nnext; i++) {
+		cube_val[i] = next_val[i];
+		cube_mask[i] = next_mask[i];
+		cube_used[i] = 0;
+	}
+	ncubes = nnext;
+	return merged;
+}
+
+int covers(int pi, int minterm) {
+	return (prime_val[pi] & ~prime_mask[pi]) == (minterm & ~prime_mask[pi]);
+}
+
+int literals(int pi) {
+	return nvars - popcount(prime_mask[pi]);
+}
+
+void print_cube(int pi) {
+	int b;
+	for (b = nvars - 1; b >= 0; b--) {
+		if (prime_mask[pi] & (1 << b))
+			putchar('-');
+		else if (prime_val[pi] & (1 << b))
+			putchar('1');
+		else
+			putchar('0');
+	}
+}
+
+int main(void) {
+	int minterms[MAXCUBE];
+	int nmin, m, i, total_lit, cover_ct;
+	if (!read_int(&nvars) || nvars < 1 || nvars > MAXVAR) {
+		printf("bad variable count\n");
+		return 2;
+	}
+	nmin = 0;
+	while (read_int(&m)) {
+		if (m >= (1 << nvars)) {
+			printf("minterm %d out of range\n", m);
+			return 2;
+		}
+		minterms[nmin++] = m;
+		add_cube(m, 0);
+	}
+	while (qm_pass() > 0)
+		;
+	/* every remaining cube is prime */
+	for (i = 0; i < ncubes; i++)
+		add_prime(cube_val[i], cube_mask[i]);
+	total_lit = 0;
+	for (i = 0; i < nprimes; i++)
+		total_lit += literals(i);
+	cover_ct = 0;
+	for (m = 0; m < nmin; m++)
+		for (i = 0; i < nprimes; i++)
+			if (covers(i, minterms[m])) {
+				cover_ct++;
+				break;
+			}
+	printf("vars %d minterms %d primes %d literals %d covered %d\n",
+	       nvars, nmin, nprimes, total_lit, cover_ct);
+	for (i = 0; i < nprimes && i < 6; i++) {
+		print_cube(i);
+		putchar(' ');
+	}
+	putchar('\n');
+	return 0;
+}
+`

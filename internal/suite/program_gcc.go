@@ -1,0 +1,389 @@
+package suite
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// gccInput generates a deterministic program in the mini language: a mix
+// of constant-foldable expressions, variable chains, parenthesized
+// nests, and prints.
+func gccInput(name string, seed uint64, stmts int) Input {
+	var b bytes.Buffer
+	s := seed
+	next := func(n uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % n
+	}
+	vars := "abcdefghijklm"
+	// Seed every variable so loads never see stale zeros only.
+	for i := 0; i < len(vars); i++ {
+		fmt.Fprintf(&b, "%c = %d;\n", vars[i], i+1)
+	}
+	for i := 0; i < stmts; i++ {
+		v := vars[next(uint64(len(vars)))]
+		switch next(5) {
+		case 0: // constant-foldable
+			fmt.Fprintf(&b, "%c = %d * %d + %d;\n", v, next(9)+1, next(9)+1, next(50))
+		case 1: // chain
+			a, c := vars[next(uint64(len(vars)))], vars[next(uint64(len(vars)))]
+			fmt.Fprintf(&b, "%c = %c + %c * %d;\n", v, a, c, next(7)+1)
+		case 2: // parenthesized nest
+			a := vars[next(uint64(len(vars)))]
+			fmt.Fprintf(&b, "%c = ((%c + %d) * (%d + %d)) - (%c / %d);\n",
+				v, a, next(20), next(5)+1, next(5)+1, a, next(4)+1)
+		case 3:
+			fmt.Fprintf(&b, "print %c;\n", v)
+		default:
+			a := vars[next(uint64(len(vars)))]
+			fmt.Fprintf(&b, "%c = %c - %d;\n", v, a, next(30))
+		}
+	}
+	b.WriteString("print a; print b; print c;\n")
+	return Input{Name: name, Stdin: b.Bytes()}
+}
+
+// GCC mirrors the suite's gcc entry in miniature: a multi-pass compiler
+// for a tiny assignment language — lexer, recursive-descent parser into
+// malloc'd AST nodes, a constant-folding pass, stack-code generation,
+// and a stack-machine executor. Pointer-chasing, recursion, and switch
+// dispatch dominate.
+func GCC() *Program {
+	return &Program{
+		Name:        "gcc",
+		Description: "GNU C compiler (miniature multi-pass compiler)",
+		Source:      gccSrc,
+		Inputs: []Input{
+			gccInput("straight", 1, 120),
+			gccInput("folding", 2, 150),
+			gccInput("chain", 3, 180),
+			gccInput("deep", 4, 140),
+		},
+	}
+}
+
+const gccSrc = `/* gcc: a miniature multi-pass compiler and stack machine. */
+#define T_NUM 1
+#define T_VAR 2
+#define T_OP 3
+#define T_LP 4
+#define T_RP 5
+#define T_SEMI 6
+#define T_ASSIGN 7
+#define T_PRINT 8
+#define T_EOF 9
+
+#define N_NUM 1
+#define N_VAR 2
+#define N_BIN 3
+
+#define OP_PUSH 1
+#define OP_LOAD 2
+#define OP_STORE 3
+#define OP_ADD 4
+#define OP_SUB 5
+#define OP_MUL 6
+#define OP_DIV 7
+#define OP_PRINT 8
+#define OP_HALT 9
+
+struct node {
+	int kind;
+	int val;          /* number, variable index, or operator char */
+	struct node *lhs;
+	struct node *rhs;
+};
+
+int tok;
+int tok_val;
+int cur_ch;
+long vars[26];
+int code_op[4096];
+long code_arg[4096];
+int ncode;
+long folded;
+long nodes_made;
+
+void fatal(char *msg) {
+	printf("error: %s\n", msg);
+	exit(1);
+}
+
+void advance_ch(void) {
+	cur_ch = getchar();
+}
+
+void next_token(void) {
+	while (cur_ch == ' ' || cur_ch == '\t' || cur_ch == '\n')
+		advance_ch();
+	if (cur_ch == -1) {
+		tok = T_EOF;
+		return;
+	}
+	if (cur_ch >= '0' && cur_ch <= '9') {
+		tok_val = 0;
+		while (cur_ch >= '0' && cur_ch <= '9') {
+			tok_val = tok_val * 10 + (cur_ch - '0');
+			advance_ch();
+		}
+		tok = T_NUM;
+		return;
+	}
+	if (cur_ch >= 'a' && cur_ch <= 'z') {
+		char name[16];
+		int n = 0;
+		while (cur_ch >= 'a' && cur_ch <= 'z') {
+			if (n < 15)
+				name[n++] = cur_ch;
+			advance_ch();
+		}
+		name[n] = 0;
+		if (strcmp(name, "print") == 0) {
+			tok = T_PRINT;
+			return;
+		}
+		if (n != 1)
+			fatal("variable names are single letters");
+		tok = T_VAR;
+		tok_val = name[0] - 'a';
+		return;
+	}
+	switch (cur_ch) {
+	case '+': case '-': case '*': case '/':
+		tok = T_OP;
+		tok_val = cur_ch;
+		advance_ch();
+		return;
+	case '(':
+		tok = T_LP;
+		advance_ch();
+		return;
+	case ')':
+		tok = T_RP;
+		advance_ch();
+		return;
+	case ';':
+		tok = T_SEMI;
+		advance_ch();
+		return;
+	case '=':
+		tok = T_ASSIGN;
+		advance_ch();
+		return;
+	default:
+		fatal("bad character");
+	}
+}
+
+struct node *new_node(int kind, int val, struct node *lhs, struct node *rhs) {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	if (n == 0)
+		fatal("out of memory");
+	n->kind = kind;
+	n->val = val;
+	n->lhs = lhs;
+	n->rhs = rhs;
+	nodes_made++;
+	return n;
+}
+
+struct node *parse_expr(void);
+
+struct node *parse_primary(void) {
+	struct node *n;
+	if (tok == T_NUM) {
+		n = new_node(N_NUM, tok_val, 0, 0);
+		next_token();
+		return n;
+	}
+	if (tok == T_VAR) {
+		n = new_node(N_VAR, tok_val, 0, 0);
+		next_token();
+		return n;
+	}
+	if (tok == T_LP) {
+		next_token();
+		n = parse_expr();
+		if (tok != T_RP)
+			fatal("missing )");
+		next_token();
+		return n;
+	}
+	fatal("expected expression");
+	return 0;
+}
+
+struct node *parse_term(void) {
+	struct node *n = parse_primary();
+	while (tok == T_OP && (tok_val == '*' || tok_val == '/')) {
+		int op = tok_val;
+		next_token();
+		n = new_node(N_BIN, op, n, parse_primary());
+	}
+	return n;
+}
+
+struct node *parse_expr(void) {
+	struct node *n = parse_term();
+	while (tok == T_OP && (tok_val == '+' || tok_val == '-')) {
+		int op = tok_val;
+		next_token();
+		n = new_node(N_BIN, op, n, parse_term());
+	}
+	return n;
+}
+
+/* fold: constant-fold the tree in place, counting reductions. */
+struct node *fold(struct node *n) {
+	long a, b, r;
+	if (n->kind != N_BIN)
+		return n;
+	n->lhs = fold(n->lhs);
+	n->rhs = fold(n->rhs);
+	if (n->lhs->kind != N_NUM || n->rhs->kind != N_NUM)
+		return n;
+	a = n->lhs->val;
+	b = n->rhs->val;
+	switch (n->val) {
+	case '+': r = a + b; break;
+	case '-': r = a - b; break;
+	case '*': r = a * b; break;
+	default:
+		if (b == 0)
+			fatal("division by zero in constant");
+		r = a / b;
+		break;
+	}
+	folded++;
+	free(n->lhs);
+	free(n->rhs);
+	n->kind = N_NUM;
+	n->val = r;
+	n->lhs = 0;
+	n->rhs = 0;
+	return n;
+}
+
+void emit_op(int op, long arg) {
+	if (ncode >= 4096)
+		fatal("code overflow");
+	code_op[ncode] = op;
+	code_arg[ncode] = arg;
+	ncode++;
+}
+
+void gen_expr(struct node *n) {
+	if (n->kind == N_NUM) {
+		emit_op(OP_PUSH, n->val);
+		return;
+	}
+	if (n->kind == N_VAR) {
+		emit_op(OP_LOAD, n->val);
+		return;
+	}
+	gen_expr(n->lhs);
+	gen_expr(n->rhs);
+	switch (n->val) {
+	case '+': emit_op(OP_ADD, 0); break;
+	case '-': emit_op(OP_SUB, 0); break;
+	case '*': emit_op(OP_MUL, 0); break;
+	default:  emit_op(OP_DIV, 0); break;
+	}
+}
+
+void free_tree(struct node *n) {
+	if (n == 0)
+		return;
+	free_tree(n->lhs);
+	free_tree(n->rhs);
+	free(n);
+}
+
+void parse_statement(void) {
+	struct node *e;
+	int target;
+	if (tok == T_PRINT) {
+		next_token();
+		e = fold(parse_expr());
+		gen_expr(e);
+		emit_op(OP_PRINT, 0);
+		free_tree(e);
+	} else if (tok == T_VAR) {
+		target = tok_val;
+		next_token();
+		if (tok != T_ASSIGN)
+			fatal("expected =");
+		next_token();
+		e = fold(parse_expr());
+		gen_expr(e);
+		emit_op(OP_STORE, target);
+		free_tree(e);
+	} else {
+		fatal("expected statement");
+	}
+	if (tok != T_SEMI)
+		fatal("expected ;");
+	next_token();
+}
+
+long run_code(void) {
+	long stack[256];
+	int sp = 0, pc = 0;
+	long steps = 0;
+	for (;;) {
+		int op = code_op[pc];
+		long arg = code_arg[pc];
+		pc++;
+		steps++;
+		switch (op) {
+		case OP_PUSH:
+			stack[sp++] = arg;
+			break;
+		case OP_LOAD:
+			stack[sp++] = vars[arg];
+			break;
+		case OP_STORE:
+			vars[arg] = stack[--sp];
+			break;
+		case OP_ADD:
+			sp--;
+			stack[sp - 1] += stack[sp];
+			break;
+		case OP_SUB:
+			sp--;
+			stack[sp - 1] -= stack[sp];
+			break;
+		case OP_MUL:
+			sp--;
+			stack[sp - 1] *= stack[sp];
+			break;
+		case OP_DIV:
+			sp--;
+			if (stack[sp] == 0)
+				fatal("division by zero");
+			stack[sp - 1] /= stack[sp];
+			break;
+		case OP_PRINT:
+			printf("%ld\n", stack[--sp]);
+			break;
+		case OP_HALT:
+			return steps;
+		default:
+			fatal("bad opcode");
+		}
+	}
+}
+
+int main(void) {
+	long steps;
+	advance_ch();
+	next_token();
+	while (tok != T_EOF)
+		parse_statement();
+	emit_op(OP_HALT, 0);
+	steps = run_code();
+	printf("compiled %d ops, folded %ld, %ld nodes, ran %ld steps\n",
+	       ncode, folded, nodes_made, steps);
+	return 0;
+}
+`

@@ -1,0 +1,252 @@
+package suite
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// GS mirrors the suite's gs (a PostScript previewer): a stack-machine
+// interpreter whose operators are all dispatched through a large
+// function-pointer table. In the paper this is the program where the
+// pointer-node approximation fails — half the functions are referenced
+// indirectly — so the suite preserves that shape.
+func GS() *Program {
+	return &Program{
+		Name:        "gs",
+		Description: "PostScript previewer (operator-table interpreter)",
+		Source:      gsSrc,
+		Inputs: []Input{
+			{Name: "arith", Stdin: gsTokens(1, 700)},
+			{Name: "stacky", Stdin: gsTokens(2, 900)},
+			{Name: "logic", Stdin: gsTokens(3, 800)},
+			{Name: "mixed", Stdin: gsTokens(4, 1000)},
+		},
+	}
+}
+
+// gsTokens generates a token stream that keeps the operand stack healthy:
+// it tracks an approximate stack depth and only emits operators whose
+// operands are available.
+func gsTokens(seed uint64, count int) []byte {
+	unary := []string{"neg", "abs", "dup", "sqr", "inc", "dec", "not", "sign", "double", "halve"}
+	binary := []string{"add", "sub", "mul", "idiv", "mod", "max", "min", "and", "or", "xor", "shl", "gt", "lt", "eq", "exch"}
+	var b bytes.Buffer
+	s := seed
+	next := func(n uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % n
+	}
+	depth := 0
+	for i := 0; i < count; i++ {
+		switch {
+		case depth < 2 || next(3) == 0:
+			fmt.Fprintf(&b, "%d ", next(1000))
+			depth++
+		case depth > 24:
+			b.WriteString("pop ")
+			depth--
+		case next(2) == 0:
+			op := unary[next(uint64(len(unary)))]
+			b.WriteString(op)
+			b.WriteByte(' ')
+			if op == "dup" {
+				depth++
+			}
+		default:
+			op := binary[next(uint64(len(binary)))]
+			b.WriteString(op)
+			b.WriteByte(' ')
+			if op != "exch" {
+				depth--
+			}
+		}
+		if i%16 == 15 {
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("\nsum print count print\n")
+	return b.Bytes()
+}
+
+const gsSrc = `/* gs: a stack interpreter dispatching every operator by pointer. */
+#define STACK 256
+#define NAMELEN 16
+
+long stack[STACK];
+int sp;
+long executed;
+int cur_ch;
+
+void fatal(char *msg) {
+	printf("gs: %s\n", msg);
+	exit(1);
+}
+
+void push(long v) {
+	if (sp >= STACK)
+		fatal("stack overflow");
+	stack[sp++] = v;
+}
+
+long pop_val(void) {
+	if (sp <= 0)
+		fatal("stack underflow");
+	return stack[--sp];
+}
+
+/* ---- operators (all called through the dispatch table) ---- */
+
+void op_add(void) { long b = pop_val(); push(pop_val() + b); }
+void op_sub(void) { long b = pop_val(); push(pop_val() - b); }
+void op_mul(void) { long b = pop_val(); push(pop_val() * b); }
+void op_idiv(void) {
+	long b = pop_val();
+	long a = pop_val();
+	if (b == 0)
+		b = 1; /* PostScript would raise undefinedresult; stay total */
+	push(a / b);
+}
+void op_mod(void) {
+	long b = pop_val();
+	long a = pop_val();
+	if (b == 0)
+		b = 1;
+	push(a % b);
+}
+void op_neg(void) { push(-pop_val()); }
+void op_abs(void) {
+	long a = pop_val();
+	push(a < 0 ? -a : a);
+}
+void op_dup(void) {
+	long a = pop_val();
+	push(a);
+	push(a);
+}
+void op_pop(void) { pop_val(); }
+void op_exch(void) {
+	long b = pop_val();
+	long a = pop_val();
+	push(b);
+	push(a);
+}
+void op_max(void) {
+	long b = pop_val();
+	long a = pop_val();
+	push(a > b ? a : b);
+}
+void op_min(void) {
+	long b = pop_val();
+	long a = pop_val();
+	push(a < b ? a : b);
+}
+void op_and(void) { long b = pop_val(); push(pop_val() & b); }
+void op_or(void)  { long b = pop_val(); push(pop_val() | b); }
+void op_xor(void) { long b = pop_val(); push(pop_val() ^ b); }
+void op_not(void) { push(~pop_val()); }
+void op_shl(void) {
+	long b = pop_val() & 15;
+	push(pop_val() << b);
+}
+void op_gt(void) { long b = pop_val(); push(pop_val() > b ? 1 : 0); }
+void op_lt(void) { long b = pop_val(); push(pop_val() < b ? 1 : 0); }
+void op_eq(void) { long b = pop_val(); push(pop_val() == b ? 1 : 0); }
+void op_sqr(void) {
+	long a = pop_val();
+	push(a * a);
+}
+void op_inc(void) { push(pop_val() + 1); }
+void op_dec(void) { push(pop_val() - 1); }
+void op_sign(void) {
+	long a = pop_val();
+	push(a > 0 ? 1 : (a < 0 ? -1 : 0));
+}
+void op_double(void) { push(pop_val() * 2); }
+void op_halve(void) { push(pop_val() / 2); }
+void op_count(void) { push(sp); }
+void op_clear(void) { sp = 0; }
+void op_sum(void) {
+	long s = 0;
+	while (sp > 0)
+		s += pop_val();
+	push(s);
+}
+void op_print(void) {
+	printf("%ld\n", pop_val());
+}
+
+struct op_entry {
+	char *name;
+	void (*fn)(void);
+};
+
+struct op_entry op_table[] = {
+	{"add", op_add}, {"sub", op_sub}, {"mul", op_mul}, {"idiv", op_idiv},
+	{"mod", op_mod}, {"neg", op_neg}, {"abs", op_abs}, {"dup", op_dup},
+	{"pop", op_pop}, {"exch", op_exch}, {"max", op_max}, {"min", op_min},
+	{"and", op_and}, {"or", op_or}, {"xor", op_xor}, {"not", op_not},
+	{"shl", op_shl}, {"gt", op_gt}, {"lt", op_lt}, {"eq", op_eq},
+	{"sqr", op_sqr}, {"inc", op_inc}, {"dec", op_dec}, {"sign", op_sign},
+	{"double", op_double}, {"halve", op_halve}, {"count", op_count},
+	{"clear", op_clear}, {"sum", op_sum}, {"print", op_print},
+};
+
+#define NOPS 30
+
+void dispatch(char *name) {
+	int i;
+	for (i = 0; i < NOPS; i++) {
+		if (strcmp(op_table[i].name, name) == 0) {
+			op_table[i].fn();
+			executed++;
+			return;
+		}
+	}
+	fatal("unknown operator");
+}
+
+void next_ch(void) {
+	cur_ch = getchar();
+}
+
+int read_token(char *buf) {
+	int n = 0;
+	while (cur_ch == ' ' || cur_ch == '\t' || cur_ch == '\n')
+		next_ch();
+	if (cur_ch == -1)
+		return 0;
+	while (cur_ch != -1 && cur_ch != ' ' && cur_ch != '\t' && cur_ch != '\n') {
+		if (n < NAMELEN - 1)
+			buf[n++] = cur_ch;
+		next_ch();
+	}
+	buf[n] = 0;
+	return 1;
+}
+
+int is_numeric(char *s) {
+	if (*s == '-')
+		s++;
+	if (*s == 0)
+		return 0;
+	while (*s) {
+		if (*s < '0' || *s > '9')
+			return 0;
+		s++;
+	}
+	return 1;
+}
+
+int main(void) {
+	char tok[NAMELEN];
+	next_ch();
+	while (read_token(tok)) {
+		if (is_numeric(tok))
+			push(atol(tok));
+		else
+			dispatch(tok);
+	}
+	printf("executed %ld ops, final depth %d\n", executed, sp);
+	return 0;
+}
+`

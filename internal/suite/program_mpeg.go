@@ -1,0 +1,192 @@
+package suite
+
+// MPEG mirrors the suite's mpeg: block-transform video decoding —
+// zigzag scan, dequantization, a separable 8×8 inverse DCT, saturation,
+// and motion-compensation-style accumulation over many blocks.
+func MPEG() *Program {
+	return &Program{
+		Name:        "mpeg",
+		Description: "Play MPEG video files (block decode pipeline)",
+		Source:      mpegSrc,
+		Inputs: []Input{
+			{Name: "frames3", Args: []string{"3", "11"}},
+			{Name: "frames4", Args: []string{"4", "23"}},
+			{Name: "frames5", Args: []string{"5", "5"}},
+			{Name: "frames6", Args: []string{"6", "31"}},
+		},
+	}
+}
+
+const mpegSrc = `/* mpeg: a block-decode pipeline over synthetic coefficient data. */
+#define BS 8
+#define BLOCKS_PER_FRAME 20
+#define PI 3.14159265358979
+
+int zigzag[BS * BS];
+int quant[BS * BS];
+double coef[BS * BS];
+double block[BS][BS];
+double tmp[BS][BS];
+double frame_acc[BS][BS];
+double cos_tab[BS][BS];
+unsigned long seed;
+long clipped;
+long decoded_blocks;
+
+int next_bits(int n) {
+	seed = seed * 6364136223846793005 + 1442695040888963407;
+	return (int)((seed >> 33) % n);
+}
+
+void build_zigzag(void) {
+	int i, x, y, dir;
+	x = 0;
+	y = 0;
+	dir = 1;
+	for (i = 0; i < BS * BS; i++) {
+		zigzag[i] = y * BS + x;
+		if (dir) {
+			if (x == BS - 1) { y++; dir = 0; }
+			else if (y == 0) { x++; dir = 0; }
+			else { x++; y--; }
+		} else {
+			if (y == BS - 1) { x++; dir = 1; }
+			else if (x == 0) { y++; dir = 1; }
+			else { x--; y++; }
+		}
+	}
+}
+
+void build_quant(void) {
+	int i, j;
+	for (i = 0; i < BS; i++)
+		for (j = 0; j < BS; j++)
+			quant[i * BS + j] = 8 + i + j;
+}
+
+void build_cos(void) {
+	int i, j;
+	for (i = 0; i < BS; i++)
+		for (j = 0; j < BS; j++)
+			cos_tab[i][j] = cos((2.0 * i + 1.0) * j * PI / (2.0 * BS));
+}
+
+/* read_block: synthesize a sparse run-length coefficient stream. */
+void read_block(void) {
+	int i, pos, run, level;
+	for (i = 0; i < BS * BS; i++)
+		coef[i] = 0.0;
+	pos = 0;
+	coef[zigzag[0]] = next_bits(256) - 128;
+	for (;;) {
+		run = next_bits(12) + 1;
+		pos += run;
+		if (pos >= BS * BS)
+			break;
+		level = next_bits(64) - 32;
+		if (level == 0)
+			level = 1;
+		coef[zigzag[pos]] = level;
+	}
+}
+
+void dequantize(void) {
+	int i;
+	for (i = 0; i < BS * BS; i++)
+		coef[i] = coef[i] * quant[i] / 16.0;
+}
+
+double idct_basis(int u) {
+	if (u == 0)
+		return 0.353553390593;  /* 1 / (2 sqrt 2) */
+	return 0.5;
+}
+
+void idct_rows(void) {
+	int i, x, u;
+	double s;
+	for (i = 0; i < BS; i++) {
+		for (x = 0; x < BS; x++) {
+			s = 0.0;
+			for (u = 0; u < BS; u++)
+				s += idct_basis(u) * coef[i * BS + u] * cos_tab[x][u];
+			tmp[i][x] = s;
+		}
+	}
+}
+
+void idct_cols(void) {
+	int j, y, u;
+	double s;
+	for (j = 0; j < BS; j++) {
+		for (y = 0; y < BS; y++) {
+			s = 0.0;
+			for (u = 0; u < BS; u++)
+				s += idct_basis(u) * tmp[u][j] * cos_tab[y][u];
+			block[y][j] = s;
+		}
+	}
+}
+
+double clip(double v) {
+	if (v > 255.0) {
+		clipped++;
+		return 255.0;
+	}
+	if (v < -255.0) {
+		clipped++;
+		return -255.0;
+	}
+	return v;
+}
+
+void accumulate(void) {
+	int i, j;
+	for (i = 0; i < BS; i++)
+		for (j = 0; j < BS; j++)
+			frame_acc[i][j] = clip(frame_acc[i][j] * 0.5 + block[i][j]);
+}
+
+double frame_energy(void) {
+	int i, j;
+	double e = 0.0;
+	for (i = 0; i < BS; i++)
+		for (j = 0; j < BS; j++)
+			e += frame_acc[i][j] * frame_acc[i][j];
+	return e;
+}
+
+void decode_frame(void) {
+	int b;
+	for (b = 0; b < BLOCKS_PER_FRAME; b++) {
+		read_block();
+		dequantize();
+		idct_rows();
+		idct_cols();
+		accumulate();
+		decoded_blocks++;
+	}
+}
+
+int main(int argc, char **argv) {
+	int frames, f;
+	double e;
+	if (argc < 3) {
+		printf("usage: mpeg frames seed\n");
+		return 2;
+	}
+	frames = atoi(argv[1]);
+	seed = atoi(argv[2]) * 2654435761;
+	build_zigzag();
+	build_quant();
+	build_cos();
+	e = 0.0;
+	for (f = 0; f < frames; f++) {
+		decode_frame();
+		e += frame_energy();
+	}
+	printf("frames %d blocks %ld clipped %ld energy %.3e\n",
+	       frames, decoded_blocks, clipped, e);
+	return 0;
+}
+`

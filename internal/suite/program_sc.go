@@ -1,0 +1,233 @@
+package suite
+
+// SC mirrors the suite's sc: a spreadsheet evaluator. Formula parsing,
+// recursive dependency evaluation with cycle detection, and a final
+// recalculation sweep.
+func SC() *Program {
+	return &Program{
+		Name:        "sc",
+		Description: "Unix spreadsheet calculator",
+		Source:      scSrc,
+		Inputs: []Input{
+			{Name: "ledger", Stdin: []byte(
+				"A1=100\nA2=250\nA3=75\nB1=A1*2\nB2=A2+B1\nB3=B2-A3\nC1=B1+B2+B3\n" +
+					"C2=C1/4\nD1=C2*C2\n!\n")},
+			{Name: "cascade", Stdin: []byte(
+				"A1=1\nB1=A1+A1\nC1=B1+B1\nD1=C1+C1\nE1=D1+D1\nF1=E1+E1\nG1=F1+F1\nH1=G1+G1\n" +
+					"A2=H1-1\nB2=A2*3\n!\n")},
+			{Name: "grid", Stdin: []byte(
+				"A1=5\nB1=6\nC1=7\nD1=8\nA2=A1*B1\nB2=B1*C1\nC2=C1*D1\nD2=D1*A1\n" +
+					"A3=A2+B2\nB3=B2+C2\nC3=C2+D2\nD3=D2+A2\nA4=A3+B3+C3+D3\n!\n")},
+			{Name: "recalc", Stdin: []byte(
+				"A1=10\nB1=A1+5\nC1=B1*2\nA1=20\nB2=C1+A1\nD4=B2%7\nA5=(B2+C1)*(A1-5)\n!\n")},
+		},
+	}
+}
+
+const scSrc = `/* sc: an 8x8 spreadsheet with formula cells. */
+#define ROWS 8
+#define COLS 8
+#define MAXF 64
+#define S_EMPTY 0
+#define S_SET 1
+#define S_EVAL 2
+#define S_BUSY 3
+
+char formula[ROWS * COLS][MAXF];
+int state[ROWS * COLS];
+long cellval[ROWS * COLS];
+char linebuf[MAXF];
+int parse_pos;
+char *cursor;
+long evals;
+
+void die(char *msg) {
+	printf("sc: %s\n", msg);
+	exit(1);
+}
+
+int cell_index(int col, int row) {
+	return row * COLS + col;
+}
+
+long eval_cell(int idx);
+
+long parse_sum(void);
+
+long parse_atom(void) {
+	long v;
+	int c = *cursor;
+	if (c == '(') {
+		cursor++;
+		v = parse_sum();
+		if (*cursor != ')')
+			die("missing )");
+		cursor++;
+		return v;
+	}
+	if (c >= '0' && c <= '9') {
+		v = 0;
+		while (*cursor >= '0' && *cursor <= '9') {
+			v = v * 10 + (*cursor - '0');
+			cursor++;
+		}
+		return v;
+	}
+	if (c >= 'A' && c <= 'H') {
+		int col = c - 'A';
+		int row;
+		cursor++;
+		if (*cursor < '1' || *cursor > '8')
+			die("bad row");
+		row = *cursor - '1';
+		cursor++;
+		return eval_cell(cell_index(col, row));
+	}
+	die("bad formula atom");
+	return 0;
+}
+
+long parse_product(void) {
+	long v = parse_atom();
+	while (*cursor == '*' || *cursor == '/' || *cursor == '%') {
+		int op = *cursor;
+		long r;
+		cursor++;
+		r = parse_atom();
+		if (op == '*') {
+			v *= r;
+		} else if (r == 0) {
+			die("division by zero");
+		} else if (op == '/') {
+			v /= r;
+		} else {
+			v %= r;
+		}
+	}
+	return v;
+}
+
+long parse_sum(void) {
+	long v = parse_product();
+	while (*cursor == '+' || *cursor == '-') {
+		int op = *cursor;
+		cursor++;
+		if (op == '+')
+			v += parse_product();
+		else
+			v -= parse_product();
+	}
+	return v;
+}
+
+long eval_cell(int idx) {
+	char *saved;
+	long v;
+	evals++;
+	if (state[idx] == S_EMPTY)
+		return 0;
+	if (state[idx] == S_EVAL)
+		return cellval[idx];
+	if (state[idx] == S_BUSY)
+		die("circular reference");
+	state[idx] = S_BUSY;
+	saved = cursor;
+	cursor = formula[idx];
+	v = parse_sum();
+	if (*cursor != 0)
+		die("trailing formula text");
+	cursor = saved;
+	cellval[idx] = v;
+	state[idx] = S_EVAL;
+	return v;
+}
+
+void invalidate(void) {
+	int i;
+	for (i = 0; i < ROWS * COLS; i++)
+		if (state[i] == S_EVAL)
+			state[i] = S_SET;
+}
+
+void set_cell(char *line) {
+	int col, row, idx, n;
+	if (line[0] < 'A' || line[0] > 'H')
+		die("bad column");
+	col = line[0] - 'A';
+	if (line[1] < '1' || line[1] > '8')
+		die("bad row");
+	row = line[1] - '1';
+	if (line[2] != '=')
+		die("expected =");
+	idx = cell_index(col, row);
+	n = 0;
+	line += 3;
+	while (line[n]) {
+		if (n >= MAXF - 1)
+			die("formula too long");
+		formula[idx][n] = line[n];
+		n++;
+	}
+	formula[idx][n] = 0;
+	state[idx] = S_SET;
+	invalidate();
+}
+
+int read_line(void) {
+	int c, n = 0;
+	while ((c = getchar()) != -1 && c != '\n') {
+		if (c == ' ' || c == '\t')
+			continue;
+		if (n < MAXF - 1)
+			linebuf[n++] = c;
+	}
+	linebuf[n] = 0;
+	if (c == -1 && n == 0)
+		return 0;
+	return 1;
+}
+
+void recalc_all(void) {
+	int r, c;
+	for (r = 0; r < ROWS; r++)
+		for (c = 0; c < COLS; c++)
+			eval_cell(cell_index(c, r));
+}
+
+void show_sheet(void) {
+	int r, c;
+	long total = 0;
+	for (r = 0; r < ROWS; r++) {
+		int live = 0;
+		for (c = 0; c < COLS; c++)
+			if (state[cell_index(c, r)] != S_EMPTY)
+				live = 1;
+		if (!live)
+			continue;
+		printf("row %d:", r + 1);
+		for (c = 0; c < COLS; c++) {
+			int idx = cell_index(c, r);
+			if (state[idx] != S_EMPTY) {
+				printf(" %c=%ld", 'A' + c, cellval[idx]);
+				total += cellval[idx];
+			}
+		}
+		printf("\n");
+	}
+	printf("total %ld evals %ld\n", total, evals);
+}
+
+int main(void) {
+	while (read_line()) {
+		if (linebuf[0] == 0)
+			continue;
+		if (linebuf[0] == '!')
+			break;
+		set_cell(linebuf);
+		recalc_all();
+	}
+	recalc_all();
+	show_sheet();
+	return 0;
+}
+`

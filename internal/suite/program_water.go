@@ -1,0 +1,153 @@
+package suite
+
+// Water mirrors the suite's water: molecular-dynamics simulation of a
+// small system — O(N²) pairwise forces and velocity-Verlet integration.
+func Water() *Program {
+	return &Program{
+		Name:        "water",
+		Description: "Simulate a system of water molecules",
+		Source:      waterSrc,
+		Inputs: []Input{
+			{Name: "n8s30", Args: []string{"8", "30", "13"}},
+			{Name: "n10s25", Args: []string{"10", "25", "29"}},
+			{Name: "n12s20", Args: []string{"12", "20", "3"}},
+			{Name: "n9s35", Args: []string{"9", "35", "41"}},
+		},
+	}
+}
+
+const waterSrc = `/* water: Lennard-Jones molecular dynamics with velocity Verlet. */
+#define MAXN 16
+#define DT 0.004
+#define CUT2 6.25
+
+double px[MAXN], py[MAXN], pz[MAXN];
+double vx[MAXN], vy[MAXN], vz[MAXN];
+double fx[MAXN], fy[MAXN], fz[MAXN];
+int n;
+unsigned long seed;
+double potential;
+long interactions;
+
+double frand(void) {
+	seed = seed * 1103515245 + 12345;
+	return (double)((seed >> 16) & 32767) / 32767.0;
+}
+
+void init_system(void) {
+	int i, side;
+	double spacing;
+	side = 1;
+	while (side * side * side < n)
+		side++;
+	spacing = 1.3;
+	for (i = 0; i < n; i++) {
+		px[i] = (i % side) * spacing;
+		py[i] = ((i / side) % side) * spacing;
+		pz[i] = (i / (side * side)) * spacing;
+		vx[i] = frand() - 0.5;
+		vy[i] = frand() - 0.5;
+		vz[i] = frand() - 0.5;
+	}
+}
+
+void zero_forces(void) {
+	int i;
+	for (i = 0; i < n; i++) {
+		fx[i] = 0.0;
+		fy[i] = 0.0;
+		fz[i] = 0.0;
+	}
+}
+
+/* pair_force: Lennard-Jones with a radius cutoff. */
+void pair_force(int i, int j) {
+	double dx, dy, dz, r2, inv2, inv6, f;
+	dx = px[i] - px[j];
+	dy = py[i] - py[j];
+	dz = pz[i] - pz[j];
+	r2 = dx * dx + dy * dy + dz * dz;
+	if (r2 > CUT2)
+		return;
+	if (r2 < 0.01)
+		r2 = 0.01;
+	interactions++;
+	inv2 = 1.0 / r2;
+	inv6 = inv2 * inv2 * inv2;
+	f = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+	potential += 4.0 * inv6 * (inv6 - 1.0);
+	fx[i] += f * dx;
+	fy[i] += f * dy;
+	fz[i] += f * dz;
+	fx[j] -= f * dx;
+	fy[j] -= f * dy;
+	fz[j] -= f * dz;
+}
+
+void compute_forces(void) {
+	int i, j;
+	zero_forces();
+	potential = 0.0;
+	for (i = 0; i < n; i++)
+		for (j = i + 1; j < n; j++)
+			pair_force(i, j);
+}
+
+void half_kick(void) {
+	int i;
+	for (i = 0; i < n; i++) {
+		vx[i] += 0.5 * DT * fx[i];
+		vy[i] += 0.5 * DT * fy[i];
+		vz[i] += 0.5 * DT * fz[i];
+	}
+}
+
+void drift(void) {
+	int i;
+	for (i = 0; i < n; i++) {
+		px[i] += DT * vx[i];
+		py[i] += DT * vy[i];
+		pz[i] += DT * vz[i];
+	}
+}
+
+double kinetic(void) {
+	int i;
+	double k = 0.0;
+	for (i = 0; i < n; i++)
+		k += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+	return 0.5 * k;
+}
+
+void step(void) {
+	half_kick();
+	drift();
+	compute_forces();
+	half_kick();
+}
+
+int main(int argc, char **argv) {
+	int steps, s;
+	double e0, e1;
+	if (argc < 4) {
+		printf("usage: water n steps seed\n");
+		return 2;
+	}
+	n = atoi(argv[1]);
+	steps = atoi(argv[2]);
+	seed = atoi(argv[3]);
+	if (n < 2 || n > MAXN) {
+		printf("n out of range\n");
+		return 2;
+	}
+	init_system();
+	compute_forces();
+	e0 = kinetic() + potential;
+	for (s = 0; s < steps; s++)
+		step();
+	e1 = kinetic() + potential;
+	printf("n %d steps %d pairs %ld e0 %.4f e1 %.4f\n",
+	       n, steps, interactions, e0, e1);
+	return 0;
+}
+`

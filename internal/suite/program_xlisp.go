@@ -1,0 +1,552 @@
+package suite
+
+// Xlisp mirrors SPEC92's xlisp: a small Lisp interpreter whose builtins
+// are dispatched through a function-pointer table — the paper's key
+// example of indirect control flow that the Markov pointer node must
+// approximate — and whose run time concentrates in the
+// read/eval/print loop and the garbage collector.
+func Xlisp() *Program {
+	return &Program{
+		Name:        "xlisp",
+		Description: "Lisp interpreter",
+		Source:      xlispSrc,
+		Inputs: []Input{
+			{Name: "arith", Stdin: []byte(
+				"(+ 1 2 3)\n(* (+ 2 3) (- 10 4))\n(quotient 100 7)\n(remainder 100 7)\n" +
+					"(< 3 4)\n(= 5 5)\n(+ (* 3 3) (* 4 4))\n")},
+			{Name: "fib", Stdin: []byte(
+				"(define fib (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))\n" +
+					"(fib 8)\n(fib 10)\n(fib 11)\n")},
+			{Name: "lists", Stdin: []byte(
+				"(define len (lambda (l) (if (null l) 0 (+ 1 (len (cdr l))))))\n" +
+					"(define sum (lambda (l) (if (null l) 0 (+ (car l) (sum (cdr l))))))\n" +
+					"(define seq (lambda (n) (if (= n 0) (quote ()) (cons n (seq (- n 1))))))\n" +
+					"(len (seq 20))\n(sum (seq 30))\n(sum (seq 50))\n(car (cons 1 (quote (2 3))))\n")},
+			{Name: "tak", Stdin: []byte(
+				"(define tak (lambda (x y z) (if (not (< y x)) z " +
+					"(tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y)))))\n" +
+					"(tak 8 4 2)\n(tak 7 5 2)\n")},
+		},
+	}
+}
+
+const xlispSrc = `/* xlisp: a small Lisp with pointer-dispatched builtins and mark-sweep GC. */
+#define POOL 12000
+#define MAXSYM 128
+#define NAMELEN 16
+#define T_FREE 0
+#define T_NUM 1
+#define T_SYM 2
+#define T_PAIR 3
+#define T_BUILTIN 4
+#define T_LAMBDA 5
+
+struct cell {
+	int tag;
+	int mark;
+	long num;
+	struct cell *car;
+	struct cell *cdr;
+};
+
+struct cell pool[POOL];
+struct cell *free_list;
+char sym_names[MAXSYM][NAMELEN];
+struct cell *sym_cells[MAXSYM];
+int nsyms;
+struct cell *global_env;
+struct cell *sym_quote;
+struct cell *sym_if;
+struct cell *sym_lambda;
+struct cell *sym_define;
+long gc_runs;
+long cells_freed;
+long evals;
+int cur_ch;
+
+void fatal(char *msg) {
+	printf("xlisp: %s\n", msg);
+	exit(1);
+}
+
+/* ---- allocator and collector ---- */
+
+void mark_cell(struct cell *c) {
+	while (c != 0 && !c->mark) {
+		c->mark = 1;
+		if (c->tag == T_PAIR || c->tag == T_LAMBDA) {
+			mark_cell(c->car);
+			c = c->cdr;
+		} else {
+			return;
+		}
+	}
+}
+
+void sweep(void) {
+	int i;
+	free_list = 0;
+	for (i = 0; i < POOL; i++) {
+		if (pool[i].mark) {
+			pool[i].mark = 0;
+		} else {
+			pool[i].tag = T_FREE;
+			pool[i].cdr = free_list;
+			free_list = &pool[i];
+			cells_freed++;
+		}
+	}
+}
+
+void gc(void) {
+	int i;
+	gc_runs++;
+	mark_cell(global_env);
+	for (i = 0; i < nsyms; i++)
+		mark_cell(sym_cells[i]);
+	sweep();
+}
+
+struct cell *alloc_cell(int tag) {
+	struct cell *c = free_list;
+	if (c == 0)
+		fatal("heap exhausted");
+	free_list = c->cdr;
+	c->tag = tag;
+	c->mark = 0;
+	c->num = 0;
+	c->car = 0;
+	c->cdr = 0;
+	return c;
+}
+
+struct cell *make_num(long v) {
+	struct cell *c = alloc_cell(T_NUM);
+	c->num = v;
+	return c;
+}
+
+struct cell *make_pair(struct cell *a, struct cell *d) {
+	struct cell *c = alloc_cell(T_PAIR);
+	c->car = a;
+	c->cdr = d;
+	return c;
+}
+
+struct cell *intern(char *name) {
+	int i;
+	struct cell *c;
+	for (i = 0; i < nsyms; i++)
+		if (strcmp(sym_names[i], name) == 0)
+			return sym_cells[i];
+	if (nsyms >= MAXSYM)
+		fatal("too many symbols");
+	strcpy(sym_names[nsyms], name);
+	c = alloc_cell(T_SYM);
+	c->num = nsyms;
+	sym_cells[nsyms] = c;
+	nsyms++;
+	return c;
+}
+
+/* ---- builtins, dispatched by pointer ---- */
+
+long arg_num(struct cell *args) {
+	if (args == 0 || args->car == 0 || args->car->tag != T_NUM)
+		fatal("expected a number");
+	return args->car->num;
+}
+
+struct cell *bi_add(struct cell *args) {
+	long s = 0;
+	while (args != 0) {
+		s += arg_num(args);
+		args = args->cdr;
+	}
+	return make_num(s);
+}
+
+struct cell *bi_sub(struct cell *args) {
+	long s = arg_num(args);
+	args = args->cdr;
+	if (args == 0)
+		return make_num(-s);
+	while (args != 0) {
+		s -= arg_num(args);
+		args = args->cdr;
+	}
+	return make_num(s);
+}
+
+struct cell *bi_mul(struct cell *args) {
+	long s = 1;
+	while (args != 0) {
+		s *= arg_num(args);
+		args = args->cdr;
+	}
+	return make_num(s);
+}
+
+struct cell *bi_quotient(struct cell *args) {
+	long a = arg_num(args);
+	long b = arg_num(args->cdr);
+	if (b == 0)
+		fatal("division by zero");
+	return make_num(a / b);
+}
+
+struct cell *bi_remainder(struct cell *args) {
+	long a = arg_num(args);
+	long b = arg_num(args->cdr);
+	if (b == 0)
+		fatal("division by zero");
+	return make_num(a % b);
+}
+
+struct cell *bi_lt(struct cell *args) {
+	return make_num(arg_num(args) < arg_num(args->cdr) ? 1 : 0);
+}
+
+struct cell *bi_eq(struct cell *args) {
+	return make_num(arg_num(args) == arg_num(args->cdr) ? 1 : 0);
+}
+
+struct cell *bi_not(struct cell *args) {
+	struct cell *v = args != 0 ? args->car : 0;
+	int falsy = (v == 0) || (v->tag == T_NUM && v->num == 0);
+	return make_num(falsy ? 1 : 0);
+}
+
+struct cell *bi_car(struct cell *args) {
+	if (args == 0 || args->car == 0 || args->car->tag != T_PAIR)
+		fatal("car of non-pair");
+	return args->car->car;
+}
+
+struct cell *bi_cdr(struct cell *args) {
+	if (args == 0 || args->car == 0 || args->car->tag != T_PAIR)
+		fatal("cdr of non-pair");
+	return args->car->cdr;
+}
+
+struct cell *bi_cons(struct cell *args) {
+	if (args == 0 || args->cdr == 0)
+		fatal("cons needs two arguments");
+	return make_pair(args->car, args->cdr->car);
+}
+
+struct cell *bi_null(struct cell *args) {
+	return make_num((args == 0 || args->car == 0) ? 1 : 0);
+}
+
+struct cell *bi_list(struct cell *args) {
+	return args;
+}
+
+struct builtin_entry {
+	char *name;
+	struct cell *(*fn)(struct cell *args);
+};
+
+struct builtin_entry builtins[] = {
+	{"+", bi_add},
+	{"-", bi_sub},
+	{"*", bi_mul},
+	{"quotient", bi_quotient},
+	{"remainder", bi_remainder},
+	{"<", bi_lt},
+	{"=", bi_eq},
+	{"not", bi_not},
+	{"car", bi_car},
+	{"cdr", bi_cdr},
+	{"cons", bi_cons},
+	{"null", bi_null},
+	{"list", bi_list},
+};
+
+#define NBUILTIN 13
+
+/* ---- reader ---- */
+
+void next_ch(void) {
+	cur_ch = getchar();
+}
+
+void skip_space(void) {
+	while (cur_ch == ' ' || cur_ch == '\t' || cur_ch == '\n')
+		next_ch();
+}
+
+struct cell *read_expr(void);
+
+struct cell *read_list(void) {
+	struct cell *head, *tail, *e;
+	skip_space();
+	if (cur_ch == ')') {
+		next_ch();
+		return 0;
+	}
+	if (cur_ch == -1)
+		fatal("unexpected end of input in list");
+	e = read_expr();
+	head = make_pair(e, 0);
+	tail = head;
+	for (;;) {
+		skip_space();
+		if (cur_ch == ')') {
+			next_ch();
+			return head;
+		}
+		if (cur_ch == -1)
+			fatal("unexpected end of input in list");
+		e = read_expr();
+		tail->cdr = make_pair(e, 0);
+		tail = tail->cdr;
+	}
+}
+
+struct cell *read_expr(void) {
+	skip_space();
+	if (cur_ch == -1)
+		return 0;
+	if (cur_ch == '(') {
+		next_ch();
+		return read_list();
+	}
+	if (cur_ch == '\'') {
+		struct cell *inner;
+		next_ch();
+		inner = read_expr();
+		return make_pair(intern("quote"), make_pair(inner, 0));
+	}
+	if ((cur_ch >= '0' && cur_ch <= '9') || cur_ch == '-') {
+		int neg = 0;
+		long v = 0;
+		if (cur_ch == '-') {
+			neg = 1;
+			next_ch();
+			if (!(cur_ch >= '0' && cur_ch <= '9')) {
+				/* bare minus symbol */
+				return intern("-");
+			}
+		}
+		while (cur_ch >= '0' && cur_ch <= '9') {
+			v = v * 10 + (cur_ch - '0');
+			next_ch();
+		}
+		return make_num(neg ? -v : v);
+	}
+	{
+		char name[NAMELEN];
+		int n = 0;
+		while (cur_ch != -1 && cur_ch != ' ' && cur_ch != '\t' &&
+		       cur_ch != '\n' && cur_ch != '(' && cur_ch != ')') {
+			if (n < NAMELEN - 1)
+				name[n++] = cur_ch;
+			next_ch();
+		}
+		name[n] = 0;
+		if (n == 0)
+			fatal("empty token");
+		return intern(name);
+	}
+}
+
+/* ---- evaluator ---- */
+
+struct cell *env_lookup(struct cell *env, struct cell *sym) {
+	while (env != 0) {
+		if (env->car != 0 && env->car->car == sym)
+			return env->car->cdr;
+		env = env->cdr;
+	}
+	/* Fall back to the global environment so lambdas defined before a
+	   recursive binding still see it. */
+	env = global_env;
+	while (env != 0) {
+		if (env->car != 0 && env->car->car == sym)
+			return env->car->cdr;
+		env = env->cdr;
+	}
+	fatal("unbound symbol");
+	return 0;
+}
+
+struct cell *env_bind(struct cell *env, struct cell *sym, struct cell *val) {
+	return make_pair(make_pair(sym, val), env);
+}
+
+/* install_builtins binds each builtin name in the global environment to
+   a T_BUILTIN cell holding its table index. */
+void install_builtins(void) {
+	int i;
+	for (i = 0; i < NBUILTIN; i++) {
+		struct cell *f = alloc_cell(T_BUILTIN);
+		f->num = i;
+		global_env = env_bind(global_env, intern(builtins[i].name), f);
+	}
+}
+
+struct cell *eval(struct cell *e, struct cell *env);
+
+struct cell *eval_args(struct cell *list, struct cell *env) {
+	struct cell *head, *tail;
+	if (list == 0)
+		return 0;
+	head = make_pair(eval(list->car, env), 0);
+	tail = head;
+	list = list->cdr;
+	while (list != 0) {
+		tail->cdr = make_pair(eval(list->car, env), 0);
+		tail = tail->cdr;
+		list = list->cdr;
+	}
+	return head;
+}
+
+struct cell *apply(struct cell *fn, struct cell *args) {
+	if (fn == 0)
+		fatal("apply of nil");
+	if (fn->tag == T_BUILTIN)
+		return builtins[fn->num].fn(args);
+	if (fn->tag == T_LAMBDA) {
+		/* fn->car = (params . body), fn->cdr = captured env */
+		struct cell *params = fn->car->car;
+		struct cell *body = fn->car->cdr;
+		struct cell *env = fn->cdr;
+		while (params != 0) {
+			if (args == 0)
+				fatal("too few arguments");
+			env = env_bind(env, params->car, args->car);
+			params = params->cdr;
+			args = args->cdr;
+		}
+		return eval(body, env);
+	}
+	fatal("apply of non-function");
+	return 0;
+}
+
+int truthy(struct cell *v) {
+	if (v == 0)
+		return 0;
+	if (v->tag == T_NUM && v->num == 0)
+		return 0;
+	return 1;
+}
+
+struct cell *eval(struct cell *e, struct cell *env) {
+	struct cell *head;
+	evals++;
+	if (e == 0)
+		return 0;
+	if (e->tag == T_NUM || e->tag == T_BUILTIN || e->tag == T_LAMBDA)
+		return e;
+	if (e->tag == T_SYM)
+		return env_lookup(env, e);
+	/* pair: special forms first */
+	head = e->car;
+	if (head != 0 && head->tag == T_SYM) {
+		if (head == sym_quote)
+			return e->cdr->car;
+		if (head == sym_if) {
+			struct cell *c = eval(e->cdr->car, env);
+			if (truthy(c))
+				return eval(e->cdr->cdr->car, env);
+			if (e->cdr->cdr->cdr != 0)
+				return eval(e->cdr->cdr->cdr->car, env);
+			return 0;
+		}
+		if (head == sym_lambda) {
+			struct cell *f = alloc_cell(T_LAMBDA);
+			f->car = make_pair(e->cdr->car, e->cdr->cdr->car);
+			f->cdr = env;
+			return f;
+		}
+		if (head == sym_define) {
+			struct cell *val = eval(e->cdr->cdr->car, env);
+			global_env = env_bind(global_env, e->cdr->car, val);
+			return e->cdr->car;
+		}
+	}
+	{
+		struct cell *fn = eval(head, env);
+		struct cell *args = eval_args(e->cdr, env);
+		return apply(fn, args);
+	}
+}
+
+/* ---- printer ---- */
+
+void print_expr(struct cell *e) {
+	if (e == 0) {
+		printf("()");
+		return;
+	}
+	if (e->tag == T_NUM) {
+		printf("%ld", e->num);
+		return;
+	}
+	if (e->tag == T_SYM) {
+		printf("%s", sym_names[e->num]);
+		return;
+	}
+	if (e->tag == T_BUILTIN) {
+		printf("#<builtin:%s>", builtins[e->num].name);
+		return;
+	}
+	if (e->tag == T_LAMBDA) {
+		printf("#<lambda>");
+		return;
+	}
+	putchar('(');
+	for (;;) {
+		print_expr(e->car);
+		if (e->cdr == 0)
+			break;
+		if (e->cdr->tag != T_PAIR) {
+			printf(" . ");
+			print_expr(e->cdr);
+			break;
+		}
+		putchar(' ');
+		e = e->cdr;
+	}
+	putchar(')');
+}
+
+void init_heap(void) {
+	int i;
+	free_list = 0;
+	for (i = POOL - 1; i >= 0; i--) {
+		pool[i].tag = T_FREE;
+		pool[i].cdr = free_list;
+		free_list = &pool[i];
+	}
+}
+
+int main(void) {
+	struct cell *e, *v;
+	init_heap();
+	install_builtins();
+	sym_quote = intern("quote");
+	sym_if = intern("if");
+	sym_lambda = intern("lambda");
+	sym_define = intern("define");
+	next_ch();
+	for (;;) {
+		skip_space();
+		if (cur_ch == -1)
+			break;
+		e = read_expr();
+		if (e == 0 && cur_ch == -1)
+			break;
+		v = eval(e, global_env);
+		print_expr(v);
+		putchar('\n');
+		gc();
+	}
+	printf("evals %ld gcs %ld freed %ld syms %d\n", evals, gc_runs, cells_freed, nsyms);
+	return 0;
+}
+`

@@ -1,0 +1,93 @@
+// Package staticest reproduces "Accurate Static Estimators for Program
+// Optimization" (Wagner, Maverick, Graham, Harrison; PLDI 1994): static
+// compile-time estimation of basic-block frequencies, function invocation
+// counts, and call-site frequencies for C programs, evaluated against
+// interpreter-derived profiles with Wall's weight-matching metric.
+//
+// The pipeline is:
+//
+//	unit, err := staticest.Compile("prog.c", src) // parse, typecheck, CFGs
+//	res, err := unit.Run(staticest.RunOptions{Stdin: input})  // profile
+//	est := unit.Estimate()                        // static estimates
+//	score := metric.WeightMatch(...)              // compare
+//
+// The heavy lifting lives in the internal packages; this package wires
+// them together behind a stable façade.
+package staticest
+
+import (
+	"fmt"
+
+	"staticest/internal/callgraph"
+	"staticest/internal/cfg"
+	"staticest/internal/core"
+	"staticest/internal/cparse"
+	"staticest/internal/interp"
+	"staticest/internal/profile"
+	"staticest/internal/sem"
+)
+
+// Unit is a compiled translation unit: parsed, type-checked, with
+// control-flow graphs and a call graph.
+type Unit struct {
+	Name string
+	Sem  *sem.Program
+	CFG  *cfg.Program
+	Call *callgraph.Graph
+}
+
+// Compile parses, analyzes, and builds graphs for a C source file.
+func Compile(name string, src []byte) (*Unit, error) {
+	file, err := cparse.ParseFile(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	sp, err := sem.Analyze(file)
+	if err != nil {
+		return nil, fmt.Errorf("analyze %s: %w", name, err)
+	}
+	cp, err := cfg.Build(sp)
+	if err != nil {
+		return nil, fmt.Errorf("cfg %s: %w", name, err)
+	}
+	return &Unit{
+		Name: name,
+		Sem:  sp,
+		CFG:  cp,
+		Call: callgraph.Build(sp),
+	}, nil
+}
+
+// RunOptions configures one profiled execution.
+type RunOptions = interp.Options
+
+// RunResult is the outcome of one profiled execution.
+type RunResult = interp.Result
+
+// Run executes the program under the profiling interpreter.
+func (u *Unit) Run(opts RunOptions) (*RunResult, error) {
+	return interp.Run(u.CFG, opts)
+}
+
+// Estimates bundles every static estimate the paper produces for a
+// program.
+type Estimates = core.Estimates
+
+// Estimate computes the full set of static estimates with the paper's
+// default configuration (smart branch predictions, loop count 5,
+// predicted-arm probability 0.8).
+func (u *Unit) Estimate() *Estimates {
+	return core.EstimateAll(u.CFG, u.Call, core.DefaultConfig())
+}
+
+// EstimateWith computes estimates under a custom configuration (used by
+// the ablation benchmarks).
+func (u *Unit) EstimateWith(cfg core.Config) *Estimates {
+	return core.EstimateAll(u.CFG, u.Call, cfg)
+}
+
+// Aggregate re-exports profile aggregation for callers scoring
+// profile-based prediction.
+func Aggregate(profiles []*profile.Profile) (*profile.Profile, error) {
+	return profile.Aggregate(profiles)
+}

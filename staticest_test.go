@@ -1,0 +1,254 @@
+package staticest
+
+import (
+	"math"
+	"testing"
+
+	"staticest/internal/core"
+	"staticest/internal/metric"
+	"staticest/internal/profile"
+)
+
+// The paper's running example (Figure 1). Table 2, Figure 3, Figure 6,
+// and Figure 7 are all derived from it, so this test pins the whole
+// pipeline against published numbers.
+const strchrProgram = `
+#define NULL 0
+char *my_strchr(char *str, int c) {
+	while (*str) {
+		if (*str == c)
+			return str;
+		str++;
+	}
+	return NULL;
+}
+int main(void) {
+	my_strchr("abc", 'a');
+	my_strchr("abc", 'b');
+	return 0;
+}
+`
+
+func compileStrchr(t *testing.T) *Unit {
+	t.Helper()
+	u, err := Compile("strchr.c", []byte(strchrProgram))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return u
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStrchrCFGShape(t *testing.T) {
+	u := compileStrchr(t)
+	g := u.CFG.Graphs[0]
+	if g.Fn.Name() != "my_strchr" {
+		t.Fatalf("func 0 is %s", g.Fn.Name())
+	}
+	// The paper's CFG (Figure 6, with entry merged into the loop test)
+	// has 5 blocks: while, if, return1, incr, return2.
+	if len(g.Blocks) != 5 {
+		t.Fatalf("strchr CFG has %d blocks, want 5:\n%s", len(g.Blocks), g)
+	}
+}
+
+// blockByName locates a block by its diagnostic name.
+func blockFreqByName(t *testing.T, u *Unit, funcIdx int, freqs []float64) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for i, blk := range u.CFG.Graphs[funcIdx].Blocks {
+		out[blk.Name] = freqs[i]
+	}
+	return out
+}
+
+func TestStrchrSmartEstimate(t *testing.T) {
+	// Figure 3 / Table 2: smart estimates are while=5, if=4, return1=0.8,
+	// incr=4, return2=1.
+	u := compileStrchr(t)
+	est := u.Estimate()
+	freqs := blockFreqByName(t, u, 0, est.IntraSmart[0].BlockFreq)
+	want := map[string]float64{
+		"while.cond": 5,   // while test
+		"while.body": 4,   // if test
+		"if.then":    0.8, // return str
+		"if.end":     4,   // str++
+		"while.end":  1,   // return NULL
+	}
+	for name, w := range want {
+		got, ok := freqs[name]
+		if !ok {
+			t.Fatalf("no block named %s (have %v)", name, freqs)
+		}
+		if !approx(got, w, 1e-9) {
+			t.Errorf("smart estimate of %s = %g, want %g", name, got, w)
+		}
+	}
+}
+
+func TestStrchrMarkovEstimate(t *testing.T) {
+	// Figure 7's solution: entry 1 feeds while = 2.78, if = 2.22,
+	// return1 = 0.44, incr = 1.78, return2 = 0.56.
+	u := compileStrchr(t)
+	est := u.Estimate()
+	if est.IntraMarkov[0].Fallback {
+		t.Fatal("Markov estimator fell back on strchr")
+	}
+	freqs := blockFreqByName(t, u, 0, est.IntraMarkov[0].BlockFreq)
+	want := map[string]float64{
+		"while.cond": 1 / 0.36, // 2.777...
+		"while.body": 0.8 / 0.36,
+		"if.then":    0.2 * 0.8 / 0.36,
+		"if.end":     0.8 * 0.8 / 0.36,
+		"while.end":  0.2 / 0.36,
+	}
+	for name, w := range want {
+		if got := freqs[name]; !approx(got, w, 1e-6) {
+			t.Errorf("markov estimate of %s = %g, want %g", name, got, w)
+		}
+	}
+}
+
+func TestStrchrProfile(t *testing.T) {
+	u := compileStrchr(t)
+	res, err := u.Run(RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit code %d", res.ExitCode)
+	}
+	// Searching "abc" for 'a' then 'b': while tests 1+2, if tests 1+2,
+	// return1 1+1, incr 0+1, return2 0+0.
+	counts := blockFreqByName(t, u, 0, res.Profile.BlockCounts[0])
+	want := map[string]float64{
+		"while.cond": 3,
+		"while.body": 3,
+		"if.then":    2,
+		"if.end":     1,
+		"while.end":  0,
+	}
+	for name, w := range want {
+		if got := counts[name]; got != w {
+			t.Errorf("profiled count of %s = %g, want %g", name, got, w)
+		}
+	}
+	if got := res.Profile.FuncCalls[0]; got != 2 {
+		t.Errorf("strchr invocations = %g, want 2", got)
+	}
+	if got := res.Profile.FuncCalls[1]; got != 1 {
+		t.Errorf("main invocations = %g, want 1", got)
+	}
+	for id, c := range res.Profile.CallSiteCounts {
+		if c != 1 {
+			t.Errorf("call site %d count = %g, want 1", id, c)
+		}
+	}
+}
+
+func TestStrchrWeightMatchingTable2(t *testing.T) {
+	// Table 2: the smart estimate scores 100% at the 20% cutoff and 88%
+	// (7/8) at the 60% cutoff against the two-call profile.
+	u := compileStrchr(t)
+	est := u.Estimate()
+	res, err := u.Run(RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	estimate := est.IntraSmart[0].BlockFreq
+	actual := res.Profile.BlockCounts[0]
+	if got := metric.WeightMatch(estimate, actual, 0.20); !approx(got, 1.0, 1e-9) {
+		t.Errorf("weight match @20%% = %g, want 1.0", got)
+	}
+	if got := metric.WeightMatch(estimate, actual, 0.60); !approx(got, 7.0/8.0, 1e-9) {
+		t.Errorf("weight match @60%% = %g, want 0.875", got)
+	}
+}
+
+func TestStrchrBranchPredictions(t *testing.T) {
+	u := compileStrchr(t)
+	est := u.Estimate()
+	if len(est.Pred.Branch) != 2 {
+		t.Fatalf("%d branch sites, want 2", len(est.Pred.Branch))
+	}
+	// Branch 0: the while loop test — predicted to continue (0.8).
+	if bp := est.Pred.Branch[0]; bp.Heuristic != "loop" || !approx(bp.ProbTrue, 0.8, 1e-9) {
+		t.Errorf("while prediction = %+v, want loop/0.8", bp)
+	}
+	// Branch 1: `*str == c` — the opcode heuristic predicts equality
+	// false (the paper's Figure 3 predicts this if false).
+	if bp := est.Pred.Branch[1]; bp.Heuristic != "opcode" || !approx(bp.ProbTrue, 0.2, 1e-9) {
+		t.Errorf("if prediction = %+v, want opcode/0.2", bp)
+	}
+}
+
+func TestStrchrInterEstimates(t *testing.T) {
+	u := compileStrchr(t)
+	est := u.Estimate()
+	// Both call sites sit in main's straight-line entry block, so the
+	// call_site estimator gives my_strchr an invocation estimate of 2.
+	if got := est.Inter.CallSite[0]; !approx(got, 2, 1e-9) {
+		t.Errorf("call_site estimate for my_strchr = %g, want 2", got)
+	}
+	// The Markov chain injects main = 1 and flows 2 into my_strchr.
+	if got := est.InterMarkov.Inv[1]; !approx(got, 1, 1e-9) {
+		t.Errorf("markov estimate for main = %g, want 1", got)
+	}
+	if got := est.InterMarkov.Inv[0]; !approx(got, 2, 1e-9) {
+		t.Errorf("markov estimate for my_strchr = %g, want 2", got)
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"parse", `int f( { }`},
+		{"sem", `int main(void) { return zzz; }`},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.name+".c", []byte(tc.src)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestEstimateWithCustomConfig(t *testing.T) {
+	u := compileStrchr(t)
+	conf := core.DefaultConfig()
+	conf.LoopCount = 10
+	est := u.EstimateWith(conf)
+	// The while test now runs 10x per entry instead of 5x.
+	freqs := blockFreqByName(t, u, 0, est.IntraSmart[0].BlockFreq)
+	if !approx(freqs["while.cond"], 10, 1e-9) {
+		t.Errorf("loop-count-10 estimate = %g, want 10", freqs["while.cond"])
+	}
+}
+
+func TestAggregateFacade(t *testing.T) {
+	u := compileStrchr(t)
+	r1, err := u.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := u.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate([]*profile.Profile{r1.Profile, r2.Profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.FuncCalls[0] != 4 { // 2 calls per run, two runs
+		t.Errorf("aggregate strchr calls = %g, want 4", agg.FuncCalls[0])
+	}
+}
+
+func TestUnitExposesGraphs(t *testing.T) {
+	u := compileStrchr(t)
+	if len(u.CFG.Graphs) != len(u.Sem.Funcs) {
+		t.Error("graphs not parallel to functions")
+	}
+	if len(u.Call.Adj) != len(u.Sem.Funcs) {
+		t.Error("call graph not parallel to functions")
+	}
+}
