@@ -336,6 +336,67 @@ func BenchmarkInterpretCompress(b *testing.B) {
 	b.ReportMetric(float64(steps), "blocks/run")
 }
 
+// BenchmarkProbeProfiling compares full instrumentation against sparse
+// probe profiling on the suite's largest program (xlisp): wall time per
+// run plus the number of counter increments each mode performs. The
+// sparse numbers include nothing the reconstructor can't undo — the
+// recovered profile is exactly the full one (see internal/probes).
+func BenchmarkProbeProfiling(b *testing.B) {
+	prog, err := suite.ByName("xlisp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := prog.Inputs[0]
+	plan := u.PlanProbes()
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		var incs float64
+		for i := 0; i < b.N; i++ {
+			res, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := res.Profile
+			incs = p.TotalBlockCount() + sum(p.FuncCalls) + sum(p.CallSiteCounts) +
+				sum(p.BranchTaken) + sum(p.BranchNot)
+			for _, arms := range p.SwitchArm {
+				incs += sum(arms)
+			}
+		}
+		b.ReportMetric(incs, "increments/run")
+	})
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		var incs float64
+		for i := 0; i < b.N; i++ {
+			res, err := u.Run(staticest.RunOptions{
+				Args: in.Args, Stdin: in.Stdin,
+				Instrumentation: staticest.SparseInstrumentation,
+				Plan:            plan,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			incs = res.Probes.Increments()
+		}
+		b.ReportMetric(incs, "increments/run")
+		b.ReportMetric(100*plan.ArcReduction(), "arc_reduction%")
+	})
+}
+
+func sum(s []float64) float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
 func BenchmarkExtensionCutoffSweep(b *testing.B) {
 	data := loadSuite(b)
 	var at50 float64

@@ -568,6 +568,35 @@ func removeBlock(list []*Block, b *Block) []*Block {
 	return out
 }
 
+// ProfileShape returns the dimensions of a dynamic profile for the
+// program: blocks per function, call-site and branch-site counts, and
+// the arm count of every switch site (source cases plus the implicit
+// default arm the CFG synthesizes when the source has none). The
+// interpreter and the probe reconstructor both allocate profiles from
+// this one description, so their shapes cannot drift apart.
+func ProfileShape(p *Program) (blocksPerFunc []int, numSites, numBranches int, switchArms []int) {
+	sp := p.Sem
+	blocksPerFunc = make([]int, len(sp.Funcs))
+	for i, g := range p.Graphs {
+		blocksPerFunc[i] = len(g.Blocks)
+	}
+	switchArms = make([]int, len(sp.SwitchSites))
+	for _, ss := range sp.SwitchSites {
+		n := len(ss.Stmt.Cases)
+		hasDefault := false
+		for _, c := range ss.Stmt.Cases {
+			if c.IsDefault {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			n++
+		}
+		switchArms[ss.ID] = n
+	}
+	return blocksPerFunc, len(sp.CallSites), len(sp.BranchSites), switchArms
+}
+
 // String renders the graph for diagnostics.
 func (g *Graph) String() string {
 	var sb strings.Builder

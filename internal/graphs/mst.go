@@ -1,0 +1,85 @@
+package graphs
+
+import "sort"
+
+// WeightedEdge is an undirected edge between nodes U and V with a
+// selection weight. Parallel edges and self-loops are permitted (probe
+// placement produces both); a self-loop can never join a spanning
+// forest.
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// MaxSpanningForest computes a maximum-weight spanning forest of an
+// undirected multigraph with n nodes, by Kruskal's algorithm over a
+// union-find. It returns a slice parallel to edges marking the edges
+// chosen for the forest. Ties are broken by edge index, so the result
+// is deterministic for a fixed edge order.
+//
+// The probe planner uses this with arcs weighted by estimated execution
+// frequency: the forest keeps the heavy arcs, and the cheap leftovers
+// become the probe points (Knuth 1973; Ball & Larus 1994).
+func MaxSpanningForest(n int, edges []WeightedEdge) []bool {
+	order := make([]int, len(edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return edges[order[a]].Weight > edges[order[b]].Weight
+	})
+	uf := newUnionFind(n)
+	inTree := make([]bool, len(edges))
+	picked := 0
+	for _, i := range order {
+		e := edges[i]
+		if picked == n-1 {
+			break
+		}
+		if uf.union(e.U, e.V) {
+			inTree[i] = true
+			picked++
+		}
+	}
+	return inTree
+}
+
+// unionFind is a standard disjoint-set forest with union by rank and
+// path halving.
+type unionFind struct {
+	parent []int
+	rank   []byte
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]byte, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were
+// previously disjoint.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

@@ -1,0 +1,71 @@
+package graphs
+
+import "testing"
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMaxSpanningForestPicksHeavyEdges(t *testing.T) {
+	// Triangle 0-1-2: the lightest edge must be left out.
+	edges := []WeightedEdge{
+		{U: 0, V: 1, Weight: 10},
+		{U: 1, V: 2, Weight: 1},
+		{U: 0, V: 2, Weight: 5},
+	}
+	in := MaxSpanningForest(3, edges)
+	if !in[0] || in[1] || !in[2] {
+		t.Fatalf("expected edges 0 and 2 in tree, got %v", in)
+	}
+}
+
+func TestMaxSpanningForestParallelAndSelfLoops(t *testing.T) {
+	edges := []WeightedEdge{
+		{U: 0, V: 0, Weight: 100}, // self-loop: never a tree edge
+		{U: 0, V: 1, Weight: 3},
+		{U: 0, V: 1, Weight: 7}, // heavier parallel edge wins
+	}
+	in := MaxSpanningForest(2, edges)
+	if in[0] {
+		t.Fatal("self-loop selected for spanning forest")
+	}
+	if in[1] || !in[2] {
+		t.Fatalf("expected only the heavier parallel edge, got %v", in)
+	}
+}
+
+func TestMaxSpanningForestDisconnected(t *testing.T) {
+	// Two components: forest has n - #components edges.
+	edges := []WeightedEdge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 2, V: 3, Weight: 1},
+		{U: 2, V: 3, Weight: 2},
+	}
+	in := MaxSpanningForest(4, edges)
+	if got := countTrue(in); got != 2 {
+		t.Fatalf("forest size = %d, want 2", got)
+	}
+	if !in[2] || in[1] {
+		t.Fatalf("wrong edges chosen: %v", in)
+	}
+}
+
+func TestMaxSpanningForestDeterministicTies(t *testing.T) {
+	edges := []WeightedEdge{
+		{U: 0, V: 1, Weight: 5},
+		{U: 0, V: 1, Weight: 5},
+		{U: 1, V: 2, Weight: 5},
+	}
+	for i := 0; i < 10; i++ {
+		in := MaxSpanningForest(3, edges)
+		if !in[0] || in[1] || !in[2] {
+			t.Fatalf("tie-breaking not deterministic: %v", in)
+		}
+	}
+}

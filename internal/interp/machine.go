@@ -15,6 +15,7 @@ import (
 	"staticest/internal/cfg"
 	"staticest/internal/ctoken"
 	"staticest/internal/ctypes"
+	"staticest/internal/probes"
 	"staticest/internal/profile"
 	"staticest/internal/sem"
 )
@@ -70,6 +71,21 @@ func (e *RuntimeError) Error() string {
 
 type exitPanic struct{ code int }
 
+// Instrumentation selects how a run is profiled.
+type Instrumentation int
+
+// Instrumentation modes.
+const (
+	// FullInstrumentation counts every basic block, branch outcome,
+	// switch arm, function invocation, and call site — the paper's
+	// baseline profiler.
+	FullInstrumentation Instrumentation = iota
+	// SparseInstrumentation increments only the probe counters placed
+	// by a probes.Plan; the complete profile is recovered afterwards
+	// with probes.Reconstruct. Requires Options.Plan.
+	SparseInstrumentation
+)
+
 // Options configures a run.
 type Options struct {
 	// Args are the program arguments (argv[1:]; argv[0] is the program
@@ -84,14 +100,24 @@ type Options struct {
 	// (indexed by function index); unset entries cost 1.0. Used by the
 	// Figure 10 selective-optimization experiment.
 	OptFactor map[int]float64
+	// Instrumentation selects full or sparse profiling.
+	Instrumentation Instrumentation
+	// Plan is the probe placement for sparse instrumentation; it must
+	// have been built for the program being run.
+	Plan *probes.Plan
 }
 
 // Result is the outcome of a run.
 type Result struct {
 	ExitCode int
 	Output   []byte
-	Profile  *profile.Profile
-	Steps    int64
+	// Profile holds the measured counts of a full-instrumentation run;
+	// nil under sparse instrumentation (reconstruct from Probes).
+	Profile *profile.Profile
+	// Probes holds the sparse probe vector of a sparse run; nil under
+	// full instrumentation.
+	Probes *probes.Vector
+	Steps  int64
 }
 
 // Machine executes one program run.
@@ -115,12 +141,29 @@ type Machine struct {
 	cycles float64
 	factor []float64 // per-function cost factor
 
+	// Sparse instrumentation state: the probe plan, the counter vector,
+	// and the active-frame trace (one entry per live call, tracking the
+	// frame's current block so an exit() can be reconciled with flow
+	// conservation afterwards).
+	sparse bool
+	plan   *probes.Plan
+	pv     []float64
+	trace  []probes.Escape
+
 	curPos ctoken.Pos
 	depth  int
 }
 
 // Run executes the program to completion and returns its profile.
 func Run(p *cfg.Program, opts Options) (res *Result, err error) {
+	if opts.Instrumentation == SparseInstrumentation {
+		if opts.Plan == nil {
+			return nil, fmt.Errorf("interp: sparse instrumentation requires a probe plan")
+		}
+		if opts.Plan.Program() != p {
+			return nil, fmt.Errorf("interp: probe plan was built for a different program")
+		}
+	}
 	m := newMachine(p, opts)
 	defer func() {
 		if r := recover(); r != nil {
@@ -143,36 +186,27 @@ func Run(p *cfg.Program, opts Options) (res *Result, err error) {
 }
 
 func (m *Machine) result(code int) *Result {
-	m.prof.Cycles = m.cycles
-	return &Result{
+	res := &Result{
 		ExitCode: code,
 		Output:   append([]byte(nil), m.out.Bytes()...),
-		Profile:  m.prof,
 		Steps:    m.steps,
 	}
+	if m.sparse {
+		// Frames still on m.trace were unwound by exit(); the
+		// reconstructor routes their flow to the virtual exit node.
+		res.Probes = &probes.Vector{
+			Counts:  m.pv,
+			Escapes: append([]probes.Escape(nil), m.trace...),
+		}
+		return res
+	}
+	m.prof.Cycles = m.cycles
+	res.Profile = m.prof
+	return res
 }
 
 func newMachine(p *cfg.Program, opts Options) *Machine {
 	sp := p.Sem
-	blocksPerFunc := make([]int, len(sp.Funcs))
-	for i, g := range p.Graphs {
-		blocksPerFunc[i] = len(g.Blocks)
-	}
-	switchArms := make([]int, len(sp.SwitchSites))
-	for _, ss := range sp.SwitchSites {
-		n := len(ss.Stmt.Cases)
-		// The CFG may add an implicit default arm.
-		hasDefault := false
-		for _, c := range ss.Stmt.Cases {
-			if c.IsDefault {
-				hasDefault = true
-			}
-		}
-		if !hasDefault {
-			n++
-		}
-		switchArms[ss.ID] = n
-	}
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 200_000_000
@@ -182,8 +216,15 @@ func newMachine(p *cfg.Program, opts Options) *Machine {
 		sem:   sp,
 		stdin: opts.Stdin,
 		rng:   0x2545F4914F6CDD1D,
-		prof:  profile.New(blocksPerFunc, len(sp.CallSites), len(sp.BranchSites), switchArms),
 		maxT:  maxSteps,
+	}
+	if opts.Instrumentation == SparseInstrumentation {
+		m.sparse = true
+		m.plan = opts.Plan
+		m.pv = make([]float64, opts.Plan.NumProbes)
+	} else {
+		blocksPerFunc, numSites, numBranches, switchArms := cfg.ProfileShape(p)
+		m.prof = profile.New(blocksPerFunc, numSites, numBranches, switchArms)
 	}
 	m.factor = make([]float64, len(sp.Funcs))
 	for i := range m.factor {
@@ -429,7 +470,13 @@ func (m *Machine) callMain(args []string) int {
 func (m *Machine) callFunc(fnIdx int, args []value) value {
 	fd := m.sem.Funcs[fnIdx]
 	g := m.cfgP.Graphs[fnIdx]
-	m.prof.FuncCalls[fnIdx]++
+	if m.sparse {
+		// Invocations ride the virtual exit→entry arc of the spanning
+		// forest; only the frame trace is maintained here.
+		m.trace = append(m.trace, probes.Escape{Func: fnIdx, Block: g.Entry.ID})
+	} else {
+		m.prof.FuncCalls[fnIdx]++
+	}
 
 	m.depth++
 	if m.depth > 100_000 {
@@ -460,6 +507,9 @@ func (m *Machine) callFunc(fnIdx int, args []value) value {
 
 	m.sp = savedSP
 	m.depth--
+	if m.sparse {
+		m.trace = m.trace[:len(m.trace)-1]
+	}
 	retT := fd.Obj.Type.Sig.Ret
 	if retT.Kind == ctypes.Void {
 		return value{typ: ctypes.VoidType}
@@ -468,7 +518,13 @@ func (m *Machine) callFunc(fnIdx int, args []value) value {
 }
 
 // execute runs the function's CFG and returns the raw return value.
+// Under sparse instrumentation the hot loop skips every per-block and
+// per-branch counter; it only bumps the planned probe counters at arc
+// transitions and keeps the frame trace current for exit() handling.
 func (m *Machine) execute(fr *frame, g *cfg.Graph, fnIdx int) value {
+	if m.sparse {
+		return m.executeSparse(fr, g, fnIdx)
+	}
 	blk := g.Entry
 	counts := m.prof.BlockCounts[fnIdx]
 	factor := m.factor[fnIdx]
@@ -543,6 +599,97 @@ func (m *Machine) execute(fr *frame, g *cfg.Graph, fnIdx int) value {
 				return m.eval(fr, blk.RetVal)
 			}
 			return value{typ: ctypes.IntType}
+		}
+	}
+}
+
+// executeSparse is the sparse-instrumentation twin of execute: no block,
+// branch, switch, or cycle counters — only the probe counters the plan
+// placed on off-forest arcs, plus a frame-trace update per block so a
+// mid-run exit() leaves an exact record of where flow stopped.
+func (m *Machine) executeSparse(fr *frame, g *cfg.Graph, fnIdx int) value {
+	blk := g.Entry
+	fp := &m.plan.Funcs[fnIdx]
+	// Index rather than pointer: nested calls append to m.trace and may
+	// reallocate its backing array.
+	ti := len(m.trace) - 1
+	for {
+		m.steps++
+		if m.steps > m.maxT {
+			m.fail("step budget exceeded (%d block executions)", m.maxT)
+		}
+		m.trace[ti].Block = blk.ID
+
+		for _, s := range blk.Stmts {
+			m.execStmt(fr, s)
+		}
+		switch blk.Term {
+		case cfg.TermJump:
+			if len(blk.Succs) == 0 {
+				// Fell off a pruned dead-end; treat as return 0.
+				if pi := fp.ExitProbe[blk.ID]; pi >= 0 {
+					m.pv[pi]++
+				}
+				return value{typ: ctypes.IntType}
+			}
+			if pi := fp.SuccProbe[blk.ID][0]; pi >= 0 {
+				m.pv[pi]++
+			}
+			blk = blk.Succs[0]
+		case cfg.TermCond:
+			m.curPos = blk.Cond.Pos()
+			slot := 1
+			if isTrue(m.eval(fr, blk.Cond)) {
+				slot = 0
+			}
+			if pi := fp.SuccProbe[blk.ID][slot]; pi >= 0 {
+				m.pv[pi]++
+			}
+			blk = blk.Succs[slot]
+		case cfg.TermSwitch:
+			m.curPos = blk.Tag.Pos()
+			tag := m.eval(fr, blk.Tag).i
+			arm := -1
+			def := -1
+			for i, c := range blk.Cases {
+				if c.IsDefault {
+					def = i
+					continue
+				}
+				for _, v := range c.Vals {
+					if v == tag {
+						arm = i
+					}
+				}
+				if arm >= 0 {
+					break
+				}
+			}
+			if arm < 0 {
+				arm = def
+			}
+			if arm < 0 {
+				m.fail("switch value %d matched no arm and no default", tag)
+			}
+			if pi := fp.SuccProbe[blk.ID][arm]; pi >= 0 {
+				m.pv[pi]++
+			}
+			blk = blk.Succs[arm]
+		case cfg.TermReturn:
+			// Evaluate the return value before bumping the exit probe: an
+			// exit() inside it must leave this frame recorded as escaped,
+			// not as having flowed out.
+			var ret value
+			if blk.RetVal != nil {
+				m.curPos = blk.RetVal.Pos()
+				ret = m.eval(fr, blk.RetVal)
+			} else {
+				ret = value{typ: ctypes.IntType}
+			}
+			if pi := fp.ExitProbe[blk.ID]; pi >= 0 {
+				m.pv[pi]++
+			}
+			return ret
 		}
 	}
 }

@@ -1,0 +1,129 @@
+package probes
+
+import (
+	"staticest/internal/cast"
+	"staticest/internal/cfg"
+)
+
+// classifyBlockSites walks one block in the interpreter's evaluation
+// order and decides, for every call site in it, whether its count can
+// be derived from the block count or needs a dedicated counter.
+//
+// A site is derivable exactly when its counter increment is reached
+// once per block execution, unconditionally. The interpreter increments
+// a site's counter after evaluating the call's arguments and before
+// dispatching the callee, so two things can decouple a site from its
+// block count:
+//
+//  1. conditional evaluation: the right operand of && / ||, either arm
+//     of ?:, and sizeof operands (never evaluated at all);
+//  2. a preceding call dispatch: any call dispatched earlier in the
+//     block may terminate the run (exit(), directly or transitively)
+//     after the block was counted but before this site's increment.
+//
+// Only the first call dispatched in a block, when unconditional, is
+// therefore derivable — everything after it keeps a counter.
+func classifyBlockSites(funcIdx int, blk *cfg.Block, sites []SitePlan) {
+	w := &siteWalker{funcIdx: funcIdx, blockID: blk.ID, sites: sites}
+	for _, s := range blk.Stmts {
+		switch x := s.(type) {
+		case *cast.ExprStmt:
+			w.expr(x.X, false)
+		case *cast.DeclStmt:
+			for _, d := range x.Decls {
+				w.init(d.Init, false)
+			}
+		}
+	}
+	// Terminator expressions evaluate after the block's statements.
+	switch blk.Term {
+	case cfg.TermCond:
+		w.expr(blk.Cond, false)
+	case cfg.TermSwitch:
+		w.expr(blk.Tag, false)
+	case cfg.TermReturn:
+		w.expr(blk.RetVal, false)
+	}
+}
+
+type siteWalker struct {
+	funcIdx int
+	blockID int
+	sites   []SitePlan
+	// hazard is set once any call has been dispatched: later sites in
+	// this block can be cut short by an exit() inside that call.
+	hazard bool
+}
+
+// expr visits e in the interpreter's evaluation order. cond marks
+// subexpressions that may be skipped at runtime.
+func (w *siteWalker) expr(e cast.Expr, cond bool) {
+	switch x := e.(type) {
+	case nil, *cast.IntLit, *cast.FloatLit, *cast.StrLit, *cast.Ident,
+		*cast.SizeofType:
+		// No subexpressions evaluated.
+	case *cast.SizeofExpr:
+		// The operand of sizeof is never evaluated; any call site inside
+		// it keeps a (never-incremented) counter rather than inheriting
+		// a nonzero block count.
+	case *cast.Unary:
+		w.expr(x.X, cond)
+	case *cast.Postfix:
+		w.expr(x.X, cond)
+	case *cast.Binary:
+		w.expr(x.X, cond)
+		w.expr(x.Y, cond)
+	case *cast.Logical:
+		w.expr(x.X, cond)
+		w.expr(x.Y, true) // short-circuit: may be skipped
+	case *cast.Cond:
+		w.expr(x.C, cond)
+		w.expr(x.Then, true)
+		w.expr(x.Else, true)
+	case *cast.Assign:
+		w.expr(x.L, cond)
+		w.expr(x.R, cond)
+	case *cast.Call:
+		// Direct calls never evaluate Fun; indirect calls evaluate it
+		// before the arguments.
+		if x.Callee() == nil {
+			w.expr(x.Fun, cond)
+		}
+		for _, a := range x.Args {
+			w.expr(a, cond)
+		}
+		if x.SiteID >= 0 && x.SiteID < len(w.sites) {
+			sp := &w.sites[x.SiteID]
+			sp.Func, sp.Block = w.funcIdx, w.blockID
+			if !cond && !w.hazard {
+				sp.Class = SiteDerived
+			}
+		}
+		// The dispatch happens here; anything evaluated later in this
+		// block races against an exit() inside the callee.
+		w.hazard = true
+	case *cast.Index:
+		w.expr(x.X, cond)
+		w.expr(x.I, cond)
+	case *cast.Member:
+		w.expr(x.X, cond)
+	case *cast.CastExpr:
+		w.expr(x.X, cond)
+	case *cast.Comma:
+		w.expr(x.X, cond)
+		w.expr(x.Y, cond)
+	}
+}
+
+// init visits a local initializer the way storeLocalInit evaluates it.
+func (w *siteWalker) init(in cast.Init, cond bool) {
+	switch x := in.(type) {
+	case nil:
+	case *cast.ExprInit:
+		w.expr(x.X, cond)
+	case *cast.ListInit:
+		for _, el := range x.Elems {
+			w.init(el, cond)
+		}
+	}
+}

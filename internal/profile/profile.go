@@ -115,10 +115,24 @@ func (p *Profile) Clone() *Profile {
 func (p *Profile) accumulate(q *Profile) error {
 	if len(p.BlockCounts) != len(q.BlockCounts) ||
 		len(p.CallSiteCounts) != len(q.CallSiteCounts) ||
-		len(p.BranchTaken) != len(q.BranchTaken) {
-		return fmt.Errorf("profile: shape mismatch (%d/%d funcs, %d/%d sites)",
+		len(p.BranchTaken) != len(q.BranchTaken) ||
+		len(p.SwitchArm) != len(q.SwitchArm) {
+		return fmt.Errorf("profile: shape mismatch (%d/%d funcs, %d/%d sites, %d/%d switches)",
 			len(p.BlockCounts), len(q.BlockCounts),
-			len(p.CallSiteCounts), len(q.CallSiteCounts))
+			len(p.CallSiteCounts), len(q.CallSiteCounts),
+			len(p.SwitchArm), len(q.SwitchArm))
+	}
+	for i := range q.BlockCounts {
+		if len(p.BlockCounts[i]) != len(q.BlockCounts[i]) {
+			return fmt.Errorf("profile: func %d has %d/%d blocks",
+				i, len(p.BlockCounts[i]), len(q.BlockCounts[i]))
+		}
+	}
+	for i := range q.SwitchArm {
+		if len(p.SwitchArm[i]) != len(q.SwitchArm[i]) {
+			return fmt.Errorf("profile: switch %d has %d/%d arms",
+				i, len(p.SwitchArm[i]), len(q.SwitchArm[i]))
+		}
 	}
 	for i, f := range q.BlockCounts {
 		for j, c := range f {

@@ -65,12 +65,33 @@ func TestAggregateNormalizes(t *testing.T) {
 
 func TestAggregateErrors(t *testing.T) {
 	if _, err := Aggregate(nil); err == nil {
-		t.Error("empty aggregate should fail")
+		t.Error("nil aggregate should fail")
+	}
+	if _, err := Aggregate([]*Profile{}); err == nil {
+		t.Error("empty-slice aggregate should fail")
 	}
 	a := sample()
 	b := New([]int{1}, 1, 1, nil)
 	if _, err := Aggregate([]*Profile{a, b}); err == nil {
 		t.Error("shape mismatch should fail")
+	}
+}
+
+// Inner-shape mismatches (same number of functions or switches, but
+// different lengths inside) must error, not panic.
+func TestAggregateInnerShapeMismatch(t *testing.T) {
+	a := sample() // shape {2,3} blocks, 2 sites, 2 branches, switch arms {3}
+	blocks := New([]int{2, 4}, 2, 2, []int{3})
+	if _, err := Aggregate([]*Profile{a, blocks}); err == nil {
+		t.Error("per-function block-count mismatch should fail")
+	}
+	arms := New([]int{2, 3}, 2, 2, []int{5})
+	if _, err := Aggregate([]*Profile{a, arms}); err == nil {
+		t.Error("switch-arm count mismatch should fail")
+	}
+	switches := New([]int{2, 3}, 2, 2, []int{3, 3})
+	if _, err := Aggregate([]*Profile{a, switches}); err == nil {
+		t.Error("switch count mismatch should fail")
 	}
 }
 
@@ -82,6 +103,46 @@ func TestAggregateSingle(t *testing.T) {
 	}
 	if agg.TotalBlockCount() != a.TotalBlockCount() {
 		t.Error("single-profile aggregate should match the profile")
+	}
+	if agg.Label != "aggregate" {
+		t.Errorf("aggregate label = %q", agg.Label)
+	}
+	agg.Scale(2)
+	if a.TotalBlockCount() != 60 {
+		t.Error("aggregate shares storage with its input")
+	}
+}
+
+// All-zero profiles must aggregate without dividing by zero.
+func TestAggregateZeroTotals(t *testing.T) {
+	a := New([]int{2}, 1, 1, nil)
+	b := New([]int{2}, 1, 1, nil)
+	agg, err := Aggregate([]*Profile{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.TotalBlockCount(); got != 0 {
+		t.Errorf("zero aggregate total = %g, want 0", got)
+	}
+	for _, row := range agg.BlockCounts {
+		for _, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("zero aggregate produced non-finite count %v", c)
+			}
+		}
+	}
+}
+
+// Aggregation must not mutate its inputs.
+func TestAggregateInputsUntouched(t *testing.T) {
+	a, b := sample(), sample()
+	b.Scale(4)
+	wantA, wantB := a.TotalBlockCount(), b.TotalBlockCount()
+	if _, err := Aggregate([]*Profile{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBlockCount() != wantA || b.TotalBlockCount() != wantB {
+		t.Error("Aggregate mutated an input profile")
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"staticest/internal/core"
 	"staticest/internal/cparse"
 	"staticest/internal/interp"
+	"staticest/internal/probes"
 	"staticest/internal/profile"
 	"staticest/internal/sem"
 )
@@ -90,4 +91,39 @@ func (u *Unit) EstimateWith(cfg core.Config) *Estimates {
 // profile-based prediction.
 func Aggregate(profiles []*profile.Profile) (*profile.Profile, error) {
 	return profile.Aggregate(profiles)
+}
+
+// Instrumentation modes for Run, re-exported from internal/interp.
+const (
+	FullInstrumentation   = interp.FullInstrumentation
+	SparseInstrumentation = interp.SparseInstrumentation
+)
+
+// ProbePlan is a sparse probe placement (see internal/probes).
+type ProbePlan = probes.Plan
+
+// ProbeVector is the raw counter output of a sparse run.
+type ProbeVector = probes.Vector
+
+// PlanProbes computes the unit's optimal probe placement, weighting
+// arcs with the paper's smart static estimates so counters land on the
+// arcs predicted coldest. Pass the plan via RunOptions.Plan together
+// with SparseInstrumentation, then recover the full profile with
+// Reconstruct.
+func (u *Unit) PlanProbes() *ProbePlan {
+	return probes.BuildPlan(u.CFG, probes.SmartWeights(u.CFG, core.DefaultConfig()))
+}
+
+// Reconstruct recovers the complete profile of a sparse run — exactly
+// the profile full instrumentation would have produced. optFactor must
+// match the RunOptions.OptFactor of the run (nil for the default).
+func Reconstruct(plan *ProbePlan, vec *ProbeVector, optFactor map[int]float64) (*profile.Profile, error) {
+	return probes.Reconstruct(plan, vec, optFactor)
+}
+
+// DiffProfiles reports every field-level mismatch between two profiles
+// under exact equality (empty means identical). It backs the sparse
+// verification paths in tests and cmd/cprof.
+func DiffProfiles(want, got *profile.Profile) []string {
+	return probes.Diff(want, got)
 }
