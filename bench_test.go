@@ -389,6 +389,36 @@ func BenchmarkProbeProfiling(b *testing.B) {
 	})
 }
 
+// BenchmarkObsDisabled interprets compress with observability disabled
+// (nil observer). The acceptance bar is parity (≤2%) with
+// BenchmarkInterpretCompress — the identical run before the obs layer
+// existed — because the nil path adds no work to the interpreter's hot
+// loop: per-run counters are derived at run end from state the loop
+// already maintains.
+func BenchmarkObsDisabled(b *testing.B) { benchObsRun(b, nil) }
+
+// BenchmarkObsEnabled is the same run reporting to a live observer
+// (span + counters, no sink) — the cost of switching observability on.
+func BenchmarkObsEnabled(b *testing.B) { benchObsRun(b, staticest.NewObserver()) }
+
+func benchObsRun(b *testing.B, o *staticest.Observer) {
+	prog, err := suite.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := prog.Inputs[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin, Obs: o}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func sum(s []float64) float64 {
 	var t float64
 	for _, v := range s {

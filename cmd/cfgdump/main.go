@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cfgdump [-ast] [-cfg] [-calls] [-pred] file.c
+//	cfgdump [-ast] [-cfg] [-calls] [-pred] [-trace file|-] file.c
 //
 // With no mode flags, everything is printed.
 package main
@@ -17,6 +17,7 @@ import (
 
 	"staticest"
 	"staticest/internal/cast"
+	"staticest/internal/cliutil"
 )
 
 func main() {
@@ -24,25 +25,33 @@ func main() {
 	cfgF := flag.Bool("cfg", false, "print control-flow graphs")
 	calls := flag.Bool("calls", false, "print the call graph")
 	pred := flag.Bool("pred", false, "print branch predictions")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cfgdump [flags] file.c")
 		flag.Usage()
 		os.Exit(2)
 	}
+	o, closeObs, err := cliutil.Observability(*trace, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfgdump: %v\n", err)
+		os.Exit(1)
+	}
 	all := !*ast && !*cfgF && !*calls && !*pred
-	if err := run(flag.Arg(0), all || *ast, all || *cfgF, all || *calls, all || *pred); err != nil {
+	err = run(flag.Arg(0), all || *ast, all || *cfgF, all || *calls, all || *pred, o)
+	closeObs()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cfgdump: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, ast, cfgF, calls, pred bool) error {
+func run(path string, ast, cfgF, calls, pred bool, o *staticest.Observer) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	u, err := staticest.Compile(path, src)
+	u, err := staticest.CompileObs(path, src, o)
 	if err != nil {
 		return err
 	}

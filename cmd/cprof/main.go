@@ -8,9 +8,15 @@
 // chosen by the planner, and the complete profile is reconstructed from
 // the probe vector afterwards (bit-identical to a full run).
 //
+// The observability flags expose the run's internals: -trace writes the
+// JSONL span/counter stream (compile phases, the interpreter run, probe
+// planning) and -metrics prints the text exposition, whose interp_*
+// counters exactly match the dumped profile's own totals.
+//
 // Usage:
 //
-//	cprof [-in input-file] [-steps n] [-instr full|sparse] file.c [args...]
+//	cprof [-in input-file] [-steps n] [-instr full|sparse]
+//	      [-trace file|-] [-metrics] file.c [args...]
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"sort"
 
 	"staticest"
+	"staticest/internal/cliutil"
+	"staticest/internal/obs"
 )
 
 func main() {
@@ -27,28 +35,42 @@ func main() {
 	maxSteps := flag.Int64("steps", 0, "block-execution budget (0 = default)")
 	blocks := flag.Bool("blocks", false, "dump per-block counts")
 	instr := flag.String("instr", "full", "instrumentation mode: full or sparse")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
+	metrics := flag.Bool("metrics", false, "print the metrics exposition after the run")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: cprof [flags] file.c [args...]")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *instr != "full" && *instr != "sparse" {
-		fmt.Fprintf(os.Stderr, "cprof: -instr must be full or sparse, got %q\n", *instr)
+	if err := cliutil.CheckEnum("instr", *instr, "full", "sparse"); err != nil {
+		fmt.Fprintf(os.Stderr, "cprof: %v\n", err)
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *inFile, *maxSteps, *blocks, *instr); err != nil {
+	o, closeObs, err := cliutil.Observability(*trace, *metrics)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cprof: %v\n", err)
 		os.Exit(1)
 	}
+	err = run(flag.Arg(0), flag.Args()[1:], *inFile, *maxSteps, *blocks, *instr, o)
+	closeObs()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cprof: %v\n", err)
+		os.Exit(1)
+	}
+	if *metrics {
+		fmt.Println("\n-- metrics --")
+		o.WriteProm(os.Stdout)
+	}
 }
 
-func run(path string, args []string, inFile string, maxSteps int64, blocks bool, instr string) error {
+func run(path string, args []string, inFile string, maxSteps int64, blocks bool, instr string, o *obs.Observer) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	u, err := staticest.Compile(path, src)
+	u, err := staticest.CompileObs(path, src, o)
 	if err != nil {
 		return err
 	}

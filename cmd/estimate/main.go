@@ -3,9 +3,17 @@
 // frequency estimates — the compile-time profile an optimizer would
 // consume.
 //
+// With -explain the command instead runs the program once under the
+// profiling interpreter and prints the attribution report: which branch
+// heuristic decided each site, how each heuristic scored against the
+// measured outcomes, and where the per-function estimates diverge from
+// the profile. Arguments after file.c become the program's argv; -in
+// feeds its stdin.
+//
 // Usage:
 //
 //	estimate [-intra loop|smart|markov] [-inter direct|markov] [-func name] file.c
+//	estimate -explain [-in input-file] [-steps n] [-trace file|-] file.c [args...]
 package main
 
 import (
@@ -15,7 +23,9 @@ import (
 	"sort"
 
 	"staticest"
+	"staticest/internal/cliutil"
 	"staticest/internal/core"
+	"staticest/internal/eval"
 )
 
 func main() {
@@ -23,25 +33,81 @@ func main() {
 	inter := flag.String("inter", "markov", "inter-procedural estimator: call_site, direct, all_rec, all_rec2, or markov")
 	fnName := flag.String("func", "", "limit block output to one function")
 	top := flag.Int("top", 10, "how many entries to print per ranking")
+	explain := flag.Bool("explain", false, "profile the program and print per-heuristic attribution")
+	inFile := flag.String("in", "", "file fed to the program's stdin (-explain only)")
+	maxSteps := flag.Int64("steps", 0, "block-execution budget for -explain (0 = default)")
+	cutoff := flag.Float64("cutoff", 0.05, "weight-matching cutoff for -explain scores")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: estimate [flags] file.c")
+	usage := func(err error) {
+		fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *intra, *inter, *fnName, *top); err != nil {
+	if flag.NArg() < 1 {
+		usage(fmt.Errorf("missing file.c argument"))
+	}
+	if flag.NArg() > 1 && !*explain {
+		usage(fmt.Errorf("program arguments are only meaningful with -explain"))
+	}
+	if err := cliutil.CheckEnum("intra", *intra, "loop", "smart", "markov"); err != nil {
+		usage(err)
+	}
+	if err := cliutil.CheckEnum("inter", *inter, "call_site", "direct", "all_rec", "all_rec2", "markov"); err != nil {
+		usage(err)
+	}
+
+	o, closeObs, err := cliutil.Observability(*trace, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
+		os.Exit(1)
+	}
+	if *explain {
+		err = runExplain(flag.Arg(0), flag.Args()[1:], *inFile, *maxSteps, *cutoff, *top, o)
+	} else {
+		err = run(flag.Arg(0), *intra, *inter, *fnName, *top, o)
+	}
+	closeObs()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, intra, inter, fnName string, top int) error {
+// runExplain profiles one run of the program and joins the static
+// predictions against it.
+func runExplain(path string, args []string, inFile string, maxSteps int64, cutoff float64, top int, o *staticest.Observer) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	u, err := staticest.Compile(path, src)
+	u, err := staticest.CompileObs(path, src, o)
+	if err != nil {
+		return err
+	}
+	var stdin []byte
+	if inFile != "" {
+		stdin, err = os.ReadFile(inFile)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := u.Run(staticest.RunOptions{Args: args, Stdin: stdin, MaxSteps: maxSteps})
+	if err != nil {
+		return err
+	}
+	rep := eval.Explain(u, u.Estimate(), res.Profile, cutoff)
+	fmt.Println(rep.Render(top))
+	return nil
+}
+
+func run(path, intra, inter, fnName string, top int, o *staticest.Observer) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	u, err := staticest.CompileObs(path, src, o)
 	if err != nil {
 		return err
 	}

@@ -2,65 +2,133 @@
 // benchmark suite: it compiles all 14 programs, profiles them on every
 // input, runs the estimator ladder, and prints each experiment.
 //
+// Observability: -trace streams the harness's JSONL events (suite
+// loading, every interpreter run, per-experiment scoring spans),
+// -metrics prints the final text exposition, and -http serves
+// /metrics, /debug/pprof (net/http/pprof), and /debug/vars (expvar,
+// including the live metric snapshot as staticest_metrics) while the
+// evaluation runs — and keeps serving afterwards for inspection.
+//
 // Usage:
 //
 //	evaluate            # run everything
-//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10
+//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2
+//	evaluate -metrics -http localhost:6060
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
+	"staticest/internal/cliutil"
 	"staticest/internal/eval"
+	"staticest/internal/obs"
 )
 
+var experiments = []string{
+	"t1", "t2", "f2", "f3", "f4", "f5a", "f5b", "f5c", "f6", "f7", "f9", "f10", "x1", "x2", "all",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2 all)")
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments, " ")+")")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
+	metrics := flag.Bool("metrics", false, "print the metrics exposition after the run")
+	httpAddr := flag.String("http", "", "serve /metrics, pprof, and expvar on this address")
 	flag.Parse()
 
-	if err := run(strings.ToLower(*exp)); err != nil {
+	expName := strings.ToLower(*exp)
+	if err := cliutil.CheckEnum("exp", expName, experiments...); err != nil {
+		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	o, closeObs, err := cliutil.Observability(*trace, *metrics || *httpAddr != "")
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
 		os.Exit(1)
 	}
+	eval.SetObserver(o)
+	if *httpAddr != "" {
+		serve(*httpAddr, o)
+	}
+
+	err = run(expName, o)
+	closeObs()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+		os.Exit(1)
+	}
+	if *metrics {
+		fmt.Println("-- metrics --")
+		o.WriteProm(os.Stdout)
+	}
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "evaluate: done; still serving on %s (interrupt to exit)\n", *httpAddr)
+		select {}
+	}
 }
 
-func run(exp string) error {
+// serve starts the debug HTTP server: net/http/pprof and expvar
+// register themselves on the default mux via import; /metrics and the
+// staticest_metrics expvar come from the observer.
+func serve(addr string, o *obs.Observer) {
+	expvar.Publish("staticest_metrics", expvar.Func(func() any { return o.Snapshot() }))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		o.WriteProm(w)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: http server: %v\n", err)
+		}
+	}()
+}
+
+func run(exp string, o *obs.Observer) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	section := func(s string) { fmt.Println(s) }
+	// experiment wraps one experiment's generation in a timed span.
+	experiment := func(name string, f func() (string, error)) error {
+		sp := o.StartSpan("eval.experiment", obs.KV("exp", name))
+		s, err := f()
+		sp.End()
+		if err != nil {
+			return err
+		}
+		section(s)
+		return nil
+	}
 
 	if want("t1") {
-		section(eval.Table1())
+		if err := experiment("t1", func() (string, error) { return eval.Table1(), nil }); err != nil {
+			return err
+		}
 	}
 	if want("t2") {
-		s, err := eval.Table2()
-		if err != nil {
+		if err := experiment("t2", eval.Table2); err != nil {
 			return err
 		}
-		section(s)
 	}
 	if want("f3") {
-		s, err := eval.Figure3()
-		if err != nil {
+		if err := experiment("f3", eval.Figure3); err != nil {
 			return err
 		}
-		section(s)
 	}
 	if want("f6") {
-		s, err := eval.Figure6()
-		if err != nil {
+		if err := experiment("f6", eval.Figure6); err != nil {
 			return err
 		}
-		section(s)
 	}
 	if want("f7") {
-		s, err := eval.Figure7()
-		if err != nil {
+		if err := experiment("f7", eval.Figure7); err != nil {
 			return err
 		}
-		section(s)
 	}
 
 	needSuite := false
@@ -78,21 +146,33 @@ func run(exp string) error {
 	}
 
 	if want("f2") {
-		rows, err := eval.Figure2(data)
+		err := experiment("f2", func() (string, error) {
+			rows, err := eval.Figure2(data)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderFigure2(rows), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderFigure2(rows))
 	}
 	if want("f4") {
-		rows, err := eval.Figure4(data)
+		err := experiment("f4", func() (string, error) {
+			rows, err := eval.Figure4(data)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderFigure4(rows), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderFigure4(rows))
 	}
 	if want("f5a") || want("f5c") {
+		sp := o.StartSpan("eval.experiment", obs.KV("exp", "f5"))
 		rows, err := eval.Figure5(data, 0.25)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -104,46 +184,71 @@ func run(exp string) error {
 		}
 	}
 	if want("f5b") {
-		rows, err := eval.Figure5(data, 0.10)
+		err := experiment("f5b", func() (string, error) {
+			rows, err := eval.Figure5(data, 0.10)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderFigure5bc(rows, 10, "b"), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderFigure5bc(rows, 10, "b"))
 	}
 	if want("f9") {
-		rows, err := eval.Figure9(data)
+		err := experiment("f9", func() (string, error) {
+			rows, err := eval.Figure9(data)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderFigure9(rows), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderFigure9(rows))
 	}
 	if want("f10") {
-		var compress *eval.ProgramData
-		for _, d := range data {
-			if d.Prog.Name == "compress" {
-				compress = d
+		err := experiment("f10", func() (string, error) {
+			var compress *eval.ProgramData
+			for _, d := range data {
+				if d.Prog.Name == "compress" {
+					compress = d
+				}
 			}
-		}
-		curves, err := eval.Figure10(compress, 0.55)
+			curves, err := eval.Figure10(compress, 0.55)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderFigure10(curves), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderFigure10(curves))
 	}
 	if want("x1") {
-		rows, err := eval.CutoffSweep(data,
-			[]float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50})
+		err := experiment("x1", func() (string, error) {
+			rows, err := eval.CutoffSweep(data,
+				[]float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50})
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderCutoffSweep(rows), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderCutoffSweep(rows))
 	}
 	if want("x2") {
-		rows, err := eval.MarkovOracle(data, 0.05)
+		err := experiment("x2", func() (string, error) {
+			rows, err := eval.MarkovOracle(data, 0.05)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderMarkovOracle(rows), nil
+		})
 		if err != nil {
 			return err
 		}
-		section(eval.RenderMarkovOracle(rows))
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+// Package cliutil holds the small amount of plumbing the commands
+// share: up-front validation of enum-valued flags (so a bad value is a
+// usage error naming the valid choices, not a failure deep in a run)
+// and construction of an observability domain from the common
+// -trace/-metrics flags.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"staticest/internal/obs"
+)
+
+// CheckEnum validates an enum-valued flag. It returns nil when got is
+// one of valid, and otherwise an error naming the flag and every valid
+// value. Commands call it for each enum flag right after flag.Parse.
+func CheckEnum(flagName, got string, valid ...string) error {
+	for _, v := range valid {
+		if got == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("-%s must be one of %s (got %q)",
+		flagName, strings.Join(valid, ", "), got)
+}
+
+// Observability builds the observer a command's -trace/-metrics flags
+// ask for. trace selects the JSONL event destination: "" for none, "-"
+// for stderr, anything else a file path (truncated). When both trace
+// is empty and metrics is false the observer is nil — the pipeline's
+// zero-cost disabled mode.
+//
+// The returned close function flushes counters and gauges into the
+// trace (so the stream ends with final totals) and closes the file; it
+// is safe to call when the observer is nil.
+func Observability(trace string, metrics bool) (*obs.Observer, func(), error) {
+	if trace == "" && !metrics {
+		return nil, func() {}, nil
+	}
+	var opts []obs.Option
+	var file *os.File
+	if trace != "" {
+		w := os.Stderr
+		if trace != "-" {
+			f, err := os.Create(trace)
+			if err != nil {
+				return nil, nil, fmt.Errorf("opening trace file: %w", err)
+			}
+			file = f
+			w = f
+		}
+		opts = append(opts, obs.WithSink(obs.NewJSONLSink(w)))
+	}
+	o := obs.New(opts...)
+	closeFn := func() {
+		o.Flush()
+		if file != nil {
+			file.Close()
+		}
+	}
+	return o, closeFn, nil
+}

@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckEnum(t *testing.T) {
+	if err := CheckEnum("instr", "sparse", "full", "sparse"); err != nil {
+		t.Errorf("valid value rejected: %v", err)
+	}
+	err := CheckEnum("instr", "fast", "full", "sparse")
+	if err == nil {
+		t.Fatal("invalid value accepted")
+	}
+	for _, frag := range []string{"-instr", "full, sparse", `"fast"`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestObservabilityDisabled(t *testing.T) {
+	o, closeFn, err := Observability("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Error("observer should be nil when neither trace nor metrics is requested")
+	}
+	closeFn() // must be safe on the nil observer
+}
+
+func TestObservabilityTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	o, closeFn, err := Observability(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("observer should be enabled with a trace path")
+	}
+	o.Counter("x_total").Add(3)
+	closeFn()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"x_total"`) {
+		t.Errorf("flushed trace missing counter event:\n%s", data)
+	}
+}
+
+func TestObservabilityMetricsOnly(t *testing.T) {
+	o, closeFn, err := Observability("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if o == nil {
+		t.Fatal("observer should be enabled when metrics are requested")
+	}
+}
+
+func TestObservabilityBadPath(t *testing.T) {
+	_, _, err := Observability(filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl"), false)
+	if err == nil {
+		t.Fatal("expected error for unwritable trace path")
+	}
+}

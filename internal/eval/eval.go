@@ -8,13 +8,34 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"staticest"
 	"staticest/internal/core"
 	"staticest/internal/metric"
+	"staticest/internal/obs"
 	"staticest/internal/profile"
 	"staticest/internal/suite"
 )
+
+// obsv is the harness-wide observer; the suite cache is shared across
+// callers, so the observer is package state rather than a parameter.
+// Stored atomically: LoadSuite profiles programs from several
+// goroutines.
+var obsv atomic.Pointer[obs.Observer]
+
+// SetObserver routes harness observability (per-program load/run/score
+// spans, run counters) to o. Pass nil to disable. Set it before the
+// first LoadSuiteCached call to capture suite loading itself.
+func SetObserver(o *obs.Observer) { obsv.Store(o) }
+
+// Observer returns the harness observer (nil when unset).
+func Observer() *obs.Observer { return obsv.Load() }
+
+// scoreSpan times one program's contribution to one experiment.
+func scoreSpan(exp, prog string) *obs.Span {
+	return Observer().StartSpan("eval.score", obs.KV("exp", exp), obs.KV("prog", prog))
+}
 
 // ProgramData is one program's compiled unit, estimates, and profiles.
 type ProgramData struct {
@@ -26,19 +47,28 @@ type ProgramData struct {
 
 // Load compiles and profiles one program with the default configuration.
 func Load(p *suite.Program) (*ProgramData, error) {
+	o := Observer()
+	sp := o.StartSpan("eval.load", obs.KV("prog", p.Name))
+	defer sp.End()
 	u, err := p.CompileCached()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
+	esp := sp.Child("eval.estimate", obs.KV("prog", p.Name))
 	d := &ProgramData{Prog: p, Unit: u, Est: u.Estimate()}
+	esp.End()
 	for _, in := range p.Inputs {
-		res, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+		rsp := sp.Child("eval.run", obs.KV("prog", p.Name), obs.KV("input", in.Name))
+		res, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin, Obs: o})
+		rsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", p.Name, in.Name, err)
 		}
+		o.Counter("eval_runs_total").Add(1)
 		res.Profile.Label = in.Name
 		d.Profiles = append(d.Profiles, res.Profile)
 	}
+	o.Counter("eval_programs_loaded_total").Add(1)
 	return d, nil
 }
 

@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"staticest"
+)
+
+// explainFixture exercises three heuristics with hand-computable
+// dynamic outcomes:
+//
+//   - work's for-loop:   11 evaluations, 10 taken / 1 not  (loop)
+//   - work's i == 3:     10 evaluations,  1 taken / 9 not  (opcode)
+//   - find's while-loop:  3 evaluations,  3 taken / 0 not  (loop)
+//   - find's *s == c:     3 evaluations,  1 taken / 2 not  (opcode)
+//   - main's if (p):      1 evaluation,   1 taken / 0 not  (pointer)
+const explainFixture = `
+int sink;
+int work(int x) {
+	int i;
+	for (i = 0; i < x; i++) {
+		if (i == 3)
+			sink = sink + 1;
+	}
+	return sink;
+}
+char *find(char *s, int c) {
+	while (*s) {
+		if (*s == c)
+			return s;
+		s++;
+	}
+	return 0;
+}
+int main(void) {
+	int r = 0;
+	char *p = find("hello", 'l');
+	if (p)
+		r = 1;
+	work(10);
+	return r;
+}
+`
+
+func loadExplainFixture(t *testing.T) *ExplainReport {
+	t.Helper()
+	u, err := staticest.Compile("fixture.c", []byte(explainFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Run(staticest.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Explain(u, u.Estimate(), res.Profile, 0.05)
+}
+
+func TestExplainHeuristicAttribution(t *testing.T) {
+	r := loadExplainFixture(t)
+
+	want := map[string]HeuristicReport{
+		"loop":    {Heuristic: "loop", Sites: 2, Executed: 2, Dynamic: 14, Hits: 13, Misses: 1},
+		"opcode":  {Heuristic: "opcode", Sites: 2, Executed: 2, Dynamic: 13, Hits: 11, Misses: 2},
+		"pointer": {Heuristic: "pointer", Sites: 1, Executed: 1, Dynamic: 1, Hits: 1, Misses: 0},
+	}
+	if len(r.Heuristics) != len(want) {
+		names := make([]string, len(r.Heuristics))
+		for i, h := range r.Heuristics {
+			names[i] = h.Heuristic
+		}
+		t.Fatalf("heuristics fired: %v, want exactly loop/opcode/pointer", names)
+	}
+	for _, h := range r.Heuristics {
+		w, ok := want[h.Heuristic]
+		if !ok {
+			t.Errorf("unexpected heuristic %q", h.Heuristic)
+			continue
+		}
+		if h != w {
+			t.Errorf("heuristic %s = %+v, want %+v", h.Heuristic, h, w)
+		}
+		if h.Hits+h.Misses != h.Dynamic {
+			t.Errorf("heuristic %s: hits %g + misses %g != dynamic %g",
+				h.Heuristic, h.Hits, h.Misses, h.Dynamic)
+		}
+	}
+	// Sorted by dynamic count descending: loop (14), opcode (13), pointer (1).
+	if r.Heuristics[0].Heuristic != "loop" || r.Heuristics[1].Heuristic != "opcode" ||
+		r.Heuristics[2].Heuristic != "pointer" {
+		t.Errorf("heuristic order wrong: %+v", r.Heuristics)
+	}
+	if got, wantMiss := r.MissRate, 3.0/28.0; math.Abs(got-wantMiss) > 1e-12 {
+		t.Errorf("overall miss rate = %g, want %g", got, wantMiss)
+	}
+}
+
+func TestExplainBranchSites(t *testing.T) {
+	r := loadExplainFixture(t)
+	if len(r.Branches) != 5 {
+		t.Fatalf("got %d branch sites, want 5", len(r.Branches))
+	}
+	// Sorted by misses descending; the opcode misses (1 each) and the
+	// work-loop exit miss (1) lead, the zero-miss sites trail.
+	for i := 1; i < len(r.Branches); i++ {
+		if r.Branches[i].Misses > r.Branches[i-1].Misses {
+			t.Errorf("branches not sorted by misses: %g after %g",
+				r.Branches[i].Misses, r.Branches[i-1].Misses)
+		}
+	}
+	var pointer *BranchSiteReport
+	for i := range r.Branches {
+		if r.Branches[i].Heuristic == "pointer" {
+			pointer = &r.Branches[i]
+		}
+	}
+	if pointer == nil {
+		t.Fatal("no pointer-heuristic site in the report")
+	}
+	if !pointer.PredTaken || pointer.Taken != 1 || pointer.Not != 0 ||
+		pointer.Hits != 1 || pointer.Misses != 0 {
+		t.Errorf("pointer site = %+v", *pointer)
+	}
+	if pointer.Func != "main" {
+		t.Errorf("pointer site in %q, want main", pointer.Func)
+	}
+}
+
+func TestExplainFuncDivergence(t *testing.T) {
+	r := loadExplainFixture(t)
+	byName := map[string]FuncReport{}
+	for _, f := range r.Funcs {
+		byName[f.Func] = f
+	}
+	for _, name := range []string{"main", "work", "find"} {
+		f, ok := byName[name]
+		if !ok {
+			t.Fatalf("function %s missing from report (have %v)", name, byName)
+		}
+		if f.Calls != 1 {
+			t.Errorf("%s calls = %g, want 1", name, f.Calls)
+		}
+		if f.Score < 0 || f.Score > 1 {
+			t.Errorf("%s score = %g, want within [0,1]", name, f.Score)
+		}
+		if f.Divergence < 0 || f.Divergence > 1 {
+			t.Errorf("%s divergence = %g, want within [0,1]", name, f.Divergence)
+		}
+		if f.EstInv <= 0 {
+			t.Errorf("%s estimated invocations = %g, want > 0", name, f.EstInv)
+		}
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	r := loadExplainFixture(t)
+	s := r.Render(3)
+	for _, frag := range []string{
+		"explain: fixture.c",
+		"per-heuristic attribution",
+		"worst-predicted branch sites",
+		"per-function estimate vs profile",
+		"loop", "opcode", "pointer",
+		"work", "find",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered report missing %q:\n%s", frag, s)
+		}
+	}
+	// topBranches bounds the site table: 3 rows requested, 5 sites exist.
+	siteRows := strings.Count(s, " @fixture.c:")
+	if siteRows != 3 {
+		t.Errorf("rendered %d site rows, want 3:\n%s", siteRows, s)
+	}
+}

@@ -44,6 +44,7 @@ func predictedDirections(d *ProgramData) []bool {
 func Figure2(data []*ProgramData) ([]Fig2Row, error) {
 	var rows []Fig2Row
 	for _, d := range data {
+		sp := scoreSpan("f2", d.Prog.Name)
 		skip := branchSkip(d)
 		dirs := predictedDirections(d)
 		smart, err := meanOverProfiles(len(d.Profiles), func(i int) (float64, error) {
@@ -79,6 +80,7 @@ func Figure2(data []*ProgramData) ([]Fig2Row, error) {
 			Program: d.Prog.Name,
 			Smart:   smart * 100, Profile: prof * 100, PSP: psp * 100,
 		})
+		sp.End()
 	}
 	return rows, nil
 }
@@ -122,6 +124,7 @@ func Figure4(data []*ProgramData) ([]Fig4Row, error) {
 func Figure4At(data []*ProgramData, cutoff float64) ([]Fig4Row, error) {
 	var rows []Fig4Row
 	for _, d := range data {
+		sp := scoreSpan("f4", d.Prog.Name)
 		loop, err := intraScore(d, intraEstimateVectors(d.Est.IntraLoop), cutoff)
 		if err != nil {
 			return nil, err
@@ -143,6 +146,7 @@ func Figure4At(data []*ProgramData, cutoff float64) ([]Fig4Row, error) {
 			Loop:    loop * 100, Smart: smart * 100,
 			Markov: markov * 100, Profile: prof * 100,
 		})
+		sp.End()
 	}
 	return rows, nil
 }
@@ -183,6 +187,7 @@ type Fig5Row struct {
 func Figure5(data []*ProgramData, cutoff float64) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, d := range data {
+		sp := scoreSpan("f5", d.Prog.Name)
 		row := Fig5Row{Program: d.Prog.Name}
 		for _, c := range []struct {
 			est []float64
@@ -206,6 +211,7 @@ func Figure5(data []*ProgramData, cutoff float64) ([]Fig5Row, error) {
 		}
 		row.Profile = p * 100
 		rows = append(rows, row)
+		sp.End()
 	}
 	return rows, nil
 }
@@ -269,6 +275,7 @@ func Figure9(data []*ProgramData) ([]Fig9Row, error) {
 func Figure9At(data []*ProgramData, cutoff float64) ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for _, d := range data {
+		sp := scoreSpan("f9", d.Prog.Name)
 		direct, err := callSiteScore(d, d.Est.SiteFreqDirect, cutoff)
 		if err != nil {
 			return nil, err
@@ -285,6 +292,7 @@ func Figure9At(data []*ProgramData, cutoff float64) ([]Fig9Row, error) {
 			Program: d.Prog.Name,
 			Direct:  direct * 100, Markov: markov * 100, Profile: prof * 100,
 		})
+		sp.End()
 	}
 	return rows, nil
 }

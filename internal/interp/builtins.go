@@ -27,6 +27,7 @@ func (m *Machine) cString(p uint64) []byte {
 }
 
 func (m *Machine) callBuiltin(name string, args []value, call *cast.Call) value {
+	m.builtins++
 	iv := func(i int) int64 { return args[i].i }
 	pv := func(i int) uint64 { return uint64(args[i].i) }
 	fv := func(i int) float64 { return toF(args[i]) }

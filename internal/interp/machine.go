@@ -15,6 +15,7 @@ import (
 	"staticest/internal/cfg"
 	"staticest/internal/ctoken"
 	"staticest/internal/ctypes"
+	"staticest/internal/obs"
 	"staticest/internal/probes"
 	"staticest/internal/profile"
 	"staticest/internal/sem"
@@ -105,6 +106,13 @@ type Options struct {
 	// Plan is the probe placement for sparse instrumentation; it must
 	// have been built for the program being run.
 	Plan *probes.Plan
+	// Obs, when non-nil, records a span per run plus counters for
+	// blocks executed, function calls, builtin dispatches, probe
+	// increments, and step-budget exhaustion. The hot loop carries no
+	// observability code: quantities are derived from state the
+	// interpreter already maintains and recorded once at run end, so a
+	// nil Obs costs nothing (see BenchmarkObsDisabled).
+	Obs *obs.Observer
 }
 
 // Result is the outcome of a run.
@@ -152,6 +160,14 @@ type Machine struct {
 
 	curPos ctoken.Pos
 	depth  int
+
+	// Observability state (see Options.Obs). calls and builtins are
+	// plain int64 increments on paths that already do far heavier work;
+	// everything else is derived at run end.
+	o               *obs.Observer
+	calls           int64
+	builtins        int64
+	budgetExhausted bool
 }
 
 // Run executes the program to completion and returns its profile.
@@ -164,7 +180,10 @@ func Run(p *cfg.Program, opts Options) (res *Result, err error) {
 			return nil, fmt.Errorf("interp: probe plan was built for a different program")
 		}
 	}
+	sp := opts.Obs.StartSpan("interp.run", obs.KV("instr", instrName(opts.Instrumentation)))
+	defer sp.End()
 	m := newMachine(p, opts)
+	defer m.finishObs(sp)
 	defer func() {
 		if r := recover(); r != nil {
 			switch v := r.(type) {
@@ -205,6 +224,37 @@ func (m *Machine) result(code int) *Result {
 	return res
 }
 
+func instrName(i Instrumentation) string {
+	if i == SparseInstrumentation {
+		return "sparse"
+	}
+	return "full"
+}
+
+// finishObs records the run's counters once, from state the hot loop
+// maintained anyway. Called on every exit path, including runtime
+// errors (the counters then describe the partial run).
+func (m *Machine) finishObs(sp *obs.Span) {
+	if m.o == nil {
+		return
+	}
+	m.o.Counter("interp_runs_total").Add(1)
+	m.o.Counter("interp_blocks_executed_total").Add(m.steps)
+	m.o.Counter("interp_calls_total").Add(m.calls)
+	m.o.Counter("interp_builtin_calls_total").Add(m.builtins)
+	if m.sparse {
+		var incs int64
+		for _, c := range m.pv {
+			incs += int64(c)
+		}
+		m.o.Counter("interp_probe_increments_total").Add(incs)
+	}
+	if m.budgetExhausted {
+		m.o.Counter("interp_step_budget_exhausted_total").Add(1)
+	}
+	sp.SetAttr("steps", m.steps)
+}
+
 func newMachine(p *cfg.Program, opts Options) *Machine {
 	sp := p.Sem
 	maxSteps := opts.MaxSteps
@@ -217,6 +267,7 @@ func newMachine(p *cfg.Program, opts Options) *Machine {
 		stdin: opts.Stdin,
 		rng:   0x2545F4914F6CDD1D,
 		maxT:  maxSteps,
+		o:     opts.Obs,
 	}
 	if opts.Instrumentation == SparseInstrumentation {
 		m.sparse = true
@@ -477,6 +528,7 @@ func (m *Machine) callFunc(fnIdx int, args []value) value {
 	} else {
 		m.prof.FuncCalls[fnIdx]++
 	}
+	m.calls++
 
 	m.depth++
 	if m.depth > 100_000 {
@@ -531,6 +583,7 @@ func (m *Machine) execute(fr *frame, g *cfg.Graph, fnIdx int) value {
 	for {
 		m.steps++
 		if m.steps > m.maxT {
+			m.budgetExhausted = true
 			m.fail("step budget exceeded (%d block executions)", m.maxT)
 		}
 		counts[blk.ID]++
@@ -616,6 +669,7 @@ func (m *Machine) executeSparse(fr *frame, g *cfg.Graph, fnIdx int) value {
 	for {
 		m.steps++
 		if m.steps > m.maxT {
+			m.budgetExhausted = true
 			m.fail("step budget exceeded (%d block executions)", m.maxT)
 		}
 		m.trace[ti].Block = blk.ID

@@ -1,0 +1,81 @@
+package metric
+
+import "testing"
+
+// Edge-case coverage: degenerate vectors the evaluation actually feeds
+// the metric (functions with one block, functions that never executed,
+// zero-weight score lists).
+
+func TestWeightMatchSingleElement(t *testing.T) {
+	// A one-block function: both quantiles are the single block, so the
+	// score is 1 regardless of the estimate's magnitude or the cutoff.
+	for _, cutoff := range []float64{0.01, 0.05, 0.5, 1} {
+		for _, est := range []float64{0, 1, 1e9} {
+			if got := WeightMatch([]float64{est}, []float64{42}, cutoff); got != 1 {
+				t.Errorf("WeightMatch([%g], [42], %g) = %g, want 1", est, cutoff, got)
+			}
+		}
+	}
+}
+
+func TestWeightMatchZeroActual(t *testing.T) {
+	// All-zero actual counts (a never-executed function) score 1:
+	// there is no hot set to miss.
+	if got := WeightMatch([]float64{3, 1, 2}, []float64{0, 0, 0}, 0.25); got != 1 {
+		t.Errorf("zero actual weight: got %g, want 1", got)
+	}
+}
+
+func TestWeightMatchZeroEstimate(t *testing.T) {
+	// All-zero estimate: the estimated ranking is index order. With
+	// cutoff 1/3 of {0,0,10}, the estimate picks index 0 (weight 0), the
+	// actual quantile picks the 10 — score 0.
+	if got := WeightMatch([]float64{0, 0, 0}, []float64{0, 0, 10}, 1.0/3); got != 0 {
+		t.Errorf("zero estimate against concentrated actual: got %g, want 0", got)
+	}
+}
+
+func TestWeightMatchCutoffAboveOne(t *testing.T) {
+	// Cutoffs above 1 clamp to the full vector: everything is selected
+	// by both rankings, so the score is 1 even for an inverted estimate.
+	if got := WeightMatch([]float64{1, 2, 3}, []float64{3, 2, 1}, 2); got != 1 {
+		t.Errorf("cutoff > 1: got %g, want 1", got)
+	}
+}
+
+func TestWeightMatchLengthMismatch(t *testing.T) {
+	if got := WeightMatch([]float64{1, 2}, []float64{1, 2, 3}, 0.5); got != 1 {
+		t.Errorf("length mismatch: got %g, want 1 (degenerate)", got)
+	}
+	if got := WeightMatch(nil, nil, 0.5); got != 1 {
+		t.Errorf("empty vectors: got %g, want 1", got)
+	}
+}
+
+func TestWeightedMeanZeroWeights(t *testing.T) {
+	// All-zero weights fall back to the unweighted mean rather than 0/0.
+	got := WeightedMean([]float64{0.2, 0.8}, []float64{0, 0})
+	if want := 0.5; got != want {
+		t.Errorf("zero-weight WeightedMean = %g, want %g", got, want)
+	}
+}
+
+func TestWeightedMeanSingle(t *testing.T) {
+	if got := WeightedMean([]float64{0.7}, []float64{123}); got != 0.7 {
+		t.Errorf("single-element WeightedMean = %g, want 0.7", got)
+	}
+	if got := WeightedMean([]float64{0.7}, nil); got != 0.7 {
+		t.Errorf("single-element WeightedMean without weights = %g, want 0.7", got)
+	}
+}
+
+func TestMissRateSingleSite(t *testing.T) {
+	// One site, predicted taken, executed once in each direction.
+	if got := MissRate([]bool{true}, []float64{1}, []float64{1}, nil); got != 0.5 {
+		t.Errorf("single-site MissRate = %g, want 0.5", got)
+	}
+	// Skipping the only site leaves no dynamic branches: rate 0.
+	if got := MissRate([]bool{true}, []float64{5}, []float64{5}, []bool{true}); got != 0 {
+		t.Errorf("all-skipped MissRate = %g, want 0", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"staticest/internal/cfg"
 	"staticest/internal/core"
 	"staticest/internal/graphs"
+	"staticest/internal/obs"
 )
 
 // ArcKind classifies a planned CFG arc.
@@ -140,6 +141,54 @@ func (p *Plan) ArcReduction() float64 {
 		return 0
 	}
 	return 1 - float64(p.ProbedArcs)/float64(p.TotalArcs)
+}
+
+// Density reports the fraction of one function's real CFG arcs that
+// carry a probe counter (0 for a function with no arcs).
+func (p *Plan) Density(funcIndex int) float64 {
+	fp := &p.Funcs[funcIndex]
+	total, probed := 0, 0
+	for _, a := range fp.Arcs {
+		if a.Kind == ArcEntry {
+			continue
+		}
+		total++
+		if a.Probe >= 0 {
+			probed++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(probed) / float64(total)
+}
+
+// Record publishes the plan's placement statistics as gauges: arc
+// totals, the probed subset, call-site classification, and the spread
+// of per-function counter density. No-op on a nil observer.
+func (p *Plan) Record(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.Gauge("probes_arcs_total").Set(float64(p.TotalArcs))
+	o.Gauge("probes_arcs_probed").Set(float64(p.ProbedArcs))
+	o.Gauge("probes_arc_reduction").Set(p.ArcReduction())
+	o.Gauge("probes_counters_total").Set(float64(p.NumProbes))
+	o.Gauge("probes_sites_total").Set(float64(len(p.Sites)))
+	o.Gauge("probes_sites_derived").Set(float64(p.DerivedSites))
+	if len(p.Funcs) == 0 {
+		return
+	}
+	lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+	for fi := range p.Funcs {
+		d := p.Density(fi)
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+		sum += d
+	}
+	o.Gauge("probes_func_density_min").Set(lo)
+	o.Gauge("probes_func_density_max").Set(hi)
+	o.Gauge("probes_func_density_mean").Set(sum / float64(len(p.Funcs)))
 }
 
 // Weights supplies the static arc-frequency estimates steering probe

@@ -1,0 +1,89 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge-case coverage for the report-style rendering the explain report
+// and the figures rely on: empty tables, ragged rows, zero-width bars.
+
+func TestTableNoRows(t *testing.T) {
+	s := New("a", "bb").String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("header-only table rendered %d lines, want 2 (header + rule):\n%s", len(lines), s)
+	}
+	if lines[0] != "a  bb" {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if strings.Trim(lines[1], "-") != "" {
+		t.Errorf("rule line = %q, want dashes only", lines[1])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("x", "y")
+	tb.Row("a")              // short row: missing cells render empty
+	tb.Row("b", "c", "dddd") // long row: extra column widens the table
+	s := tb.String()
+	for _, frag := range []string{"a", "b  c  dddd"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered table missing %q:\n%s", frag, s)
+		}
+	}
+	// The extra column must widen every line consistently: the rule line
+	// spans the three-column width, not the two-column header width.
+	lines := strings.Split(s, "\n")
+	if len(lines[1]) < len("b  c  dddd")-2 {
+		t.Errorf("rule line %q shorter than the widest row", lines[1])
+	}
+}
+
+func TestTableRightAlignPadding(t *testing.T) {
+	tb := New("name", "count").AlignRight(1)
+	tb.Row("a", 7)
+	tb.Row("b", 12345)
+	s := tb.String()
+	if !strings.Contains(s, "a         7") {
+		t.Errorf("right-aligned narrow value not padded:\n%s", s)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := New("v")
+	tb.Row(3.14159)
+	if s := tb.String(); !strings.Contains(s, "3.1") || strings.Contains(s, "3.14") {
+		t.Errorf("float should render with one decimal:\n%s", s)
+	}
+}
+
+func TestBarEdgeValues(t *testing.T) {
+	if got := Bar(0, 100, 10); got != strings.Repeat(".", 10) {
+		t.Errorf("zero bar = %q", got)
+	}
+	if got := Bar(100, 100, 10); got != strings.Repeat("#", 10) {
+		t.Errorf("full bar = %q", got)
+	}
+	// Values beyond max clamp instead of overflowing the width.
+	if got := Bar(250, 100, 10); got != strings.Repeat("#", 10) {
+		t.Errorf("overflow bar = %q", got)
+	}
+	// Negative values clamp to empty.
+	if got := Bar(-5, 100, 10); got != strings.Repeat(".", 10) {
+		t.Errorf("negative bar = %q", got)
+	}
+	// Non-positive max treats the scale as 1 rather than dividing by 0.
+	if got := Bar(0.5, 0, 10); got != "#####....." {
+		t.Errorf("zero-max bar = %q", got)
+	}
+}
+
+func TestPctEdgeValues(t *testing.T) {
+	if got := Pct(0); got != "0.0%" {
+		t.Errorf("Pct(0) = %q", got)
+	}
+	if got := Pct(1); got != "100.0%" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}

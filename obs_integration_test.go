@@ -1,0 +1,112 @@
+package staticest_test
+
+import (
+	"strings"
+	"testing"
+
+	"staticest"
+	"staticest/internal/suite"
+)
+
+// These tests pin the observability layer's exactness guarantee: the
+// interp_* counters are not samples but derived from the same state the
+// profile itself is built from, so they must match the profile's own
+// totals to the last count.
+
+func obsRun(t *testing.T, opts staticest.RunOptions) (*staticest.Observer, *staticest.Unit, *staticest.RunResult) {
+	t.Helper()
+	prog, err := suite.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := prog.Inputs[0]
+	o := staticest.NewObserver()
+	opts.Args, opts.Stdin, opts.Obs = in.Args, in.Stdin, o
+	res, err := u.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, u, res
+}
+
+func TestObsCountersMatchFullProfile(t *testing.T) {
+	o, u, res := obsRun(t, staticest.RunOptions{})
+	p := res.Profile
+
+	if got, want := o.Counter("interp_runs_total").Value(), int64(1); got != want {
+		t.Errorf("interp_runs_total = %d, want %d", got, want)
+	}
+	if got, want := float64(o.Counter("interp_blocks_executed_total").Value()), p.TotalBlockCount(); got != want {
+		t.Errorf("interp_blocks_executed_total = %v, want profile total %v", got, want)
+	}
+	var calls float64
+	for _, c := range p.FuncCalls {
+		calls += c
+	}
+	if got := float64(o.Counter("interp_calls_total").Value()); got != calls {
+		t.Errorf("interp_calls_total = %v, want sum(FuncCalls) %v", got, calls)
+	}
+	if got := o.Counter("interp_builtin_calls_total").Value(); got <= 0 {
+		t.Errorf("interp_builtin_calls_total = %d, want > 0 (compress does I/O)", got)
+	}
+	if got := o.Counter("interp_step_budget_exhausted_total").Value(); got != 0 {
+		t.Errorf("interp_step_budget_exhausted_total = %d, want 0", got)
+	}
+	// The exposition must surface the same numbers.
+	exp := o.Exposition()
+	if !strings.Contains(exp, "interp_blocks_executed_total") {
+		t.Errorf("exposition missing interp_blocks_executed_total:\n%s", exp)
+	}
+	_ = u
+}
+
+func TestObsCountersMatchSparseProfile(t *testing.T) {
+	prog, err := suite.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := u.PlanProbes()
+	in := prog.Inputs[0]
+	o := staticest.NewObserver()
+	res, err := u.Run(staticest.RunOptions{
+		Args: in.Args, Stdin: in.Stdin, Obs: o,
+		Instrumentation: staticest.SparseInstrumentation,
+		Plan:            plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(o.Counter("interp_probe_increments_total").Value()), res.Probes.Increments(); got != want {
+		t.Errorf("interp_probe_increments_total = %v, want Vector.Increments() %v", got, want)
+	}
+	if got, want := o.Counter("interp_blocks_executed_total").Value(), res.Steps; got != want {
+		t.Errorf("interp_blocks_executed_total = %d, want Steps %d", got, want)
+	}
+}
+
+func TestObsStepBudgetExhaustedCounter(t *testing.T) {
+	src := `int main(void) { for (;;) ; return 0; }`
+	o := staticest.NewObserver()
+	u, err := staticest.CompileObs("spin.c", []byte(src), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Run(staticest.RunOptions{MaxSteps: 1000}); err == nil {
+		t.Fatal("expected step-budget error")
+	}
+	if got := o.Counter("interp_step_budget_exhausted_total").Value(); got != 1 {
+		t.Errorf("interp_step_budget_exhausted_total = %d, want 1", got)
+	}
+	// The partial run still reports its counters.
+	if got := o.Counter("interp_blocks_executed_total").Value(); got == 0 {
+		t.Error("interp_blocks_executed_total = 0 after a budget-exhausted run")
+	}
+}

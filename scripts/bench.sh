@@ -1,0 +1,46 @@
+#!/bin/sh
+# Benchmark-trajectory harness: runs the interpreter, probe-profiling,
+# and observability benchmarks and writes BENCH_interp.json — one
+# machine-readable snapshot of the numbers this checkout produces,
+# committed periodically so performance can be tracked across history.
+#
+#   scripts/bench.sh                  # smoke run (-benchtime 1x)
+#   BENCH_TIME=2s scripts/bench.sh    # steadier numbers
+#   BENCH_OUT=- scripts/bench.sh      # JSON to stdout
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_interp.json}
+filter=${BENCH_FILTER:-'InterpretCompress|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd'}
+benchtime=${BENCH_TIME:-1x}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$filter" -benchtime "$benchtime" . ./internal/obs | tee "$raw" >&2
+
+json=$(awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+	n = 0
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
+	m = 0
+	for (i = 3; i < NF; i += 2) {
+		if (m++) printf ", "
+		printf "\"%s\": %s", $(i + 1), $i
+	}
+	printf "}}"
+}
+END { printf "\n  ]\n}" }' "$raw")
+
+if [ "$out" = "-" ]; then
+	printf '%s\n' "$json"
+else
+	printf '%s\n' "$json" >"$out"
+	echo "wrote $out" >&2
+fi

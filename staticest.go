@@ -17,12 +17,14 @@ package staticest
 
 import (
 	"fmt"
+	"io"
 
 	"staticest/internal/callgraph"
 	"staticest/internal/cfg"
 	"staticest/internal/core"
 	"staticest/internal/cparse"
 	"staticest/internal/interp"
+	"staticest/internal/obs"
 	"staticest/internal/probes"
 	"staticest/internal/profile"
 	"staticest/internal/sem"
@@ -35,29 +37,80 @@ type Unit struct {
 	Sem  *sem.Program
 	CFG  *cfg.Program
 	Call *callgraph.Graph
+
+	// obs is the observer the unit was compiled with (nil when
+	// observability is off); Run, Estimate, and PlanProbes report to it.
+	obs *obs.Observer
+}
+
+// Observer is the observability handle threaded through the pipeline;
+// see internal/obs. A nil *Observer disables all recording at ~zero
+// cost.
+type Observer = obs.Observer
+
+// NewObserver constructs an observability domain.
+var NewObserver = obs.New
+
+// ObserverOption configures NewObserver.
+type ObserverOption = obs.Option
+
+// WithJSONLTrace routes the observer's structured events (span
+// completions, flushed counters and gauges) to w as JSON lines.
+func WithJSONLTrace(w io.Writer) ObserverOption {
+	return obs.WithSink(obs.NewJSONLSink(w))
 }
 
 // Compile parses, analyzes, and builds graphs for a C source file.
 func Compile(name string, src []byte) (*Unit, error) {
+	return CompileObs(name, src, nil)
+}
+
+// CompileObs is Compile with observability: each phase (parse, analyze,
+// cfg, callgraph) runs under a timed span, and the unit remembers the
+// observer so later Run/Estimate/PlanProbes calls report to it too.
+func CompileObs(name string, src []byte, o *obs.Observer) (*Unit, error) {
+	sp := o.StartSpan("compile", obs.KV("prog", name))
+	defer sp.End()
+
+	phase := sp.Child("compile.parse")
 	file, err := cparse.ParseFile(name, src)
+	phase.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse %s: %w", name, err)
 	}
-	sp, err := sem.Analyze(file)
+
+	phase = sp.Child("compile.analyze")
+	prog, err := sem.Analyze(file)
+	phase.End()
 	if err != nil {
 		return nil, fmt.Errorf("analyze %s: %w", name, err)
 	}
-	cp, err := cfg.Build(sp)
+
+	phase = sp.Child("compile.cfg")
+	cp, err := cfg.Build(prog)
+	phase.End()
 	if err != nil {
 		return nil, fmt.Errorf("cfg %s: %w", name, err)
 	}
+
+	phase = sp.Child("compile.callgraph")
+	cg := callgraph.Build(prog)
+	phase.End()
+
+	o.Counter("compile_units_total").Add(1)
+	o.Counter("compile_functions_total").Add(int64(len(prog.Funcs)))
 	return &Unit{
 		Name: name,
-		Sem:  sp,
+		Sem:  prog,
 		CFG:  cp,
-		Call: callgraph.Build(sp),
+		Call: cg,
+		obs:  o,
 	}, nil
 }
+
+// Observer returns the observer the unit was compiled with (nil when
+// observability is off).
+func (u *Unit) Observer() *obs.Observer { return u.obs }
 
 // RunOptions configures one profiled execution.
 type RunOptions = interp.Options
@@ -65,8 +118,13 @@ type RunOptions = interp.Options
 // RunResult is the outcome of one profiled execution.
 type RunResult = interp.Result
 
-// Run executes the program under the profiling interpreter.
+// Run executes the program under the profiling interpreter. When the
+// unit was compiled with an observer and opts.Obs is unset, the run
+// reports to the unit's observer.
 func (u *Unit) Run(opts RunOptions) (*RunResult, error) {
+	if opts.Obs == nil {
+		opts.Obs = u.obs
+	}
 	return interp.Run(u.CFG, opts)
 }
 
@@ -78,12 +136,14 @@ type Estimates = core.Estimates
 // default configuration (smart branch predictions, loop count 5,
 // predicted-arm probability 0.8).
 func (u *Unit) Estimate() *Estimates {
-	return core.EstimateAll(u.CFG, u.Call, core.DefaultConfig())
+	return u.EstimateWith(core.DefaultConfig())
 }
 
 // EstimateWith computes estimates under a custom configuration (used by
 // the ablation benchmarks).
 func (u *Unit) EstimateWith(cfg core.Config) *Estimates {
+	sp := u.obs.StartSpan("estimate", obs.KV("prog", u.Name))
+	defer sp.End()
 	return core.EstimateAll(u.CFG, u.Call, cfg)
 }
 
@@ -111,7 +171,11 @@ type ProbeVector = probes.Vector
 // with SparseInstrumentation, then recover the full profile with
 // Reconstruct.
 func (u *Unit) PlanProbes() *ProbePlan {
-	return probes.BuildPlan(u.CFG, probes.SmartWeights(u.CFG, core.DefaultConfig()))
+	sp := u.obs.StartSpan("probes.plan", obs.KV("prog", u.Name))
+	defer sp.End()
+	plan := probes.BuildPlan(u.CFG, probes.SmartWeights(u.CFG, core.DefaultConfig()))
+	plan.Record(u.obs)
+	return plan
 }
 
 // Reconstruct recovers the complete profile of a sparse run — exactly
