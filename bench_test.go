@@ -314,6 +314,38 @@ func BenchmarkEstimateSuiteProgram(b *testing.B) {
 	}
 }
 
+// BenchmarkInlineXlisp measures the optimizer subsystem's planning plus
+// CFG splicing on the suite's largest program: rank every eligible call
+// site under the smart estimates, select under a 200-block budget, and
+// apply the transform (working-copy clone, frame relocation, block
+// splicing, renumbering).
+func BenchmarkInlineXlisp(b *testing.B) {
+	prog, err := suite.ByName("xlisp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := u.EstimateFreqSource("smart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sites, cloned int
+	for i := 0; i < b.N; i++ {
+		plan := u.PlanInline(src, 200)
+		_, res, err := u.Inline(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites, cloned = len(res.InlinedSites), res.BlocksCloned
+	}
+	b.ReportMetric(float64(sites), "sites_inlined")
+	b.ReportMetric(float64(cloned), "blocks_cloned")
+}
+
 func BenchmarkInterpretCompress(b *testing.B) {
 	prog, err := suite.ByName("compress")
 	if err != nil {

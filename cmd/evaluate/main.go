@@ -12,7 +12,8 @@
 // Usage:
 //
 //	evaluate            # run everything
-//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2
+//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2 opt
+//	evaluate -j 4       # bound the compile/profile worker pool
 //	evaluate -metrics -http localhost:6060
 package main
 
@@ -31,15 +32,17 @@ import (
 )
 
 var experiments = []string{
-	"t1", "t2", "f2", "f3", "f4", "f5a", "f5b", "f5c", "f6", "f7", "f9", "f10", "x1", "x2", "all",
+	"t1", "t2", "f2", "f3", "f4", "f5a", "f5b", "f5c", "f6", "f7", "f9", "f10", "x1", "x2", "opt", "all",
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments, " ")+")")
+	jobs := flag.Int("j", 0, "programs to compile and profile in parallel (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
 	metrics := flag.Bool("metrics", false, "print the metrics exposition after the run")
 	httpAddr := flag.String("http", "", "serve /metrics, pprof, and expvar on this address")
 	flag.Parse()
+	eval.SetParallelism(*jobs)
 
 	expName := strings.ToLower(*exp)
 	if err := cliutil.CheckEnum("exp", expName, experiments...); err != nil {
@@ -132,7 +135,7 @@ func run(exp string, o *obs.Observer) error {
 	}
 
 	needSuite := false
-	for _, e := range []string{"f2", "f4", "f5a", "f5b", "f5c", "f9", "f10", "x1", "x2"} {
+	for _, e := range []string{"f2", "f4", "f5a", "f5b", "f5c", "f9", "f10", "x1", "x2", "opt"} {
 		if want(e) {
 			needSuite = true
 		}
@@ -233,6 +236,18 @@ func run(exp string, o *obs.Observer) error {
 				return "", err
 			}
 			return eval.RenderCutoffSweep(rows), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if want("opt") {
+		err := experiment("opt", func() (string, error) {
+			rows, err := eval.OptReport(data)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderOptReport(rows), nil
 		})
 		if err != nil {
 			return err

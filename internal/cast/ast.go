@@ -364,6 +364,23 @@ type Block struct {
 	Stmts []Stmt
 }
 
+// Clear is a synthetic statement with no source form, produced by the
+// CFG-level inliner: each execution zeroes the byte range
+// [Off, Off+Size) of the current stack frame. It reproduces, for an
+// inlined callee's frame region, the zeroing the interpreter performs on
+// every function entry, so locals of the spliced body start each
+// simulated invocation exactly as a real call would.
+type Clear struct {
+	stmtBase
+	Off  int64
+	Size int64
+}
+
+// NewClear constructs a frame-zeroing statement (see Clear).
+func NewClear(off, size int64, pos ctoken.Pos) *Clear {
+	return &Clear{stmtBase: stmtBase{P: pos}, Off: off, Size: size}
+}
+
 // BranchStmt is implemented by statements that contain a predictable
 // two-way branch condition: If, While, DoWhile, For.
 type BranchStmt interface {

@@ -1,0 +1,175 @@
+package cast
+
+import (
+	"staticest/internal/ctoken"
+	"staticest/internal/ctypes"
+)
+
+// This file provides deep copies of AST fragments under an object
+// substitution, plus constructors for the few synthetic nodes the
+// CFG-level inliner emits. Cloning preserves positions, computed types,
+// and every sem-assigned site identifier (Call.SiteID, branch IDs), so
+// profiles of cloned code merge with the original code's counters by ID.
+
+// CloneExpr returns a deep copy of e. Ident nodes whose object appears
+// in remap are rebound to the mapped object (the inliner maps a callee's
+// params and locals to fresh, relocated frame slots); all other objects
+// are shared.
+func CloneExpr(e Expr, remap map[*Object]*Object) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *StrLit:
+		c := *x
+		return &c
+	case *Ident:
+		c := *x
+		if o, ok := remap[x.Obj]; ok {
+			c.Obj = o
+		}
+		return &c
+	case *Unary:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		return &c
+	case *Postfix:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		return &c
+	case *Binary:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		c.Y = CloneExpr(x.Y, remap)
+		return &c
+	case *Logical:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		c.Y = CloneExpr(x.Y, remap)
+		return &c
+	case *Cond:
+		c := *x
+		c.C = CloneExpr(x.C, remap)
+		c.Then = CloneExpr(x.Then, remap)
+		c.Else = CloneExpr(x.Else, remap)
+		return &c
+	case *Assign:
+		c := *x
+		c.L = CloneExpr(x.L, remap)
+		c.R = CloneExpr(x.R, remap)
+		return &c
+	case *Call:
+		c := *x
+		c.Fun = CloneExpr(x.Fun, remap)
+		c.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a, remap)
+		}
+		return &c
+	case *Index:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		c.I = CloneExpr(x.I, remap)
+		return &c
+	case *Member:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		return &c
+	case *SizeofExpr:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		return &c
+	case *SizeofType:
+		c := *x
+		return &c
+	case *CastExpr:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		return &c
+	case *Comma:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		c.Y = CloneExpr(x.Y, remap)
+		return &c
+	}
+	panic("cast: CloneExpr of unknown expression")
+}
+
+// CloneInit deep-copies an initializer under remap.
+func CloneInit(in Init, remap map[*Object]*Object) Init {
+	switch x := in.(type) {
+	case nil:
+		return nil
+	case *ExprInit:
+		return &ExprInit{P: x.P, X: CloneExpr(x.X, remap)}
+	case *ListInit:
+		c := &ListInit{P: x.P, Elems: make([]Init, len(x.Elems))}
+		for i, e := range x.Elems {
+			c.Elems[i] = CloneInit(e, remap)
+		}
+		return c
+	}
+	panic("cast: CloneInit of unknown initializer")
+}
+
+// CloneBlockStmt deep-copies a statement of the kinds that appear inside
+// basic blocks (straight-line code: expression statements, declarations,
+// frame clears, empties). Structured control flow never reaches here —
+// the CFG builder lowered it to terminators before the inliner runs.
+func CloneBlockStmt(s Stmt, remap map[*Object]*Object) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *Empty:
+		c := *x
+		return &c
+	case *ExprStmt:
+		c := *x
+		c.X = CloneExpr(x.X, remap)
+		return &c
+	case *DeclStmt:
+		c := *x
+		c.Decls = make([]*VarDecl, len(x.Decls))
+		for i, d := range x.Decls {
+			nd := &VarDecl{P: d.P, Obj: d.Obj, Init: CloneInit(d.Init, remap)}
+			if o, ok := remap[d.Obj]; ok {
+				nd.Obj = o
+			}
+			c.Decls[i] = nd
+		}
+		return &c
+	case *Clear:
+		c := *x
+		return &c
+	}
+	panic("cast: CloneBlockStmt of non-straight-line statement")
+}
+
+// NewIdent constructs a reference to o typed as the object itself.
+func NewIdent(o *Object, pos ctoken.Pos) *Ident {
+	return &Ident{exprBase: exprBase{P: pos, T: identType(o.Type)}, Name: o.Name, Obj: o}
+}
+
+// identType mirrors sem's typing of a variable reference: arrays decay
+// to element pointers in expression position.
+func identType(t *ctypes.Type) *ctypes.Type {
+	if t.Kind == ctypes.Array {
+		return ctypes.PointerTo(t.Elem)
+	}
+	return t
+}
+
+// NewAssign constructs the plain assignment l = r, typed as the target.
+func NewAssign(l, r Expr, pos ctoken.Pos) *Assign {
+	return &Assign{exprBase: exprBase{P: pos, T: l.Type()}, Op: Plain, L: l, R: r}
+}
+
+// NewExprStmt wraps an expression as a statement.
+func NewExprStmt(x Expr) *ExprStmt {
+	return &ExprStmt{stmtBase: stmtBase{P: x.Pos()}, X: x}
+}

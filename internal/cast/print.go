@@ -120,6 +120,8 @@ func StmtLabel(s Stmt) string {
 		return "goto " + x.Label + ";"
 	case *Labeled:
 		return x.Label + ": " + StmtLabel(x.Stmt)
+	case *Clear:
+		return fmt.Sprintf("clear frame[%d..%d);", x.Off, x.Off+x.Size)
 	}
 	return fmt.Sprintf("<%T>", s)
 }

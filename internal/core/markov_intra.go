@@ -5,10 +5,12 @@ import (
 	"staticest/internal/linalg"
 )
 
-// arcProbs returns the outgoing transition probabilities of a block under
+// ArcProbs returns the outgoing transition probabilities of a block under
 // the smart predictor: probs[i] is the probability of taking Succs[i].
 // Returns on a TermReturn block leave the chain (no outgoing mass).
-func arcProbs(blk *cfg.Block, preds *Predictions, conf Config) []float64 {
+// Exported for the optimizer subsystem, which converts estimated block
+// frequencies into estimated edge frequencies with it.
+func ArcProbs(blk *cfg.Block, preds *Predictions, conf Config) []float64 {
 	switch blk.Term {
 	case cfg.TermJump:
 		if len(blk.Succs) == 1 {
@@ -70,7 +72,7 @@ func IntraMarkov(g *cfg.Graph, preds *Predictions, conf Config) *IntraResult {
 	entryID := g.Entry.ID
 	b[entryID] = 1
 	for _, blk := range g.Blocks {
-		probs := arcProbs(blk, preds, conf)
+		probs := ArcProbs(blk, preds, conf)
 		for i, s := range blk.Succs {
 			if i < len(probs) && probs[i] != 0 {
 				// freq[s] -= prob * freq[blk]  (moved to the LHS)

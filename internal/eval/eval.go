@@ -6,6 +6,7 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -72,20 +73,61 @@ func Load(p *suite.Program) (*ProgramData, error) {
 	return d, nil
 }
 
-// LoadSuite loads every program in the suite, in parallel.
+// parallelism is the worker-pool width for LoadSuite (0 = GOMAXPROCS).
+var parallelism atomic.Int64
+
+// SetParallelism bounds the number of programs LoadSuite compiles and
+// profiles concurrently. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0). Results are independent of the setting: each
+// program's work is self-contained and lands in its own slot.
+func SetParallelism(n int) { parallelism.Store(int64(n)) }
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runBounded executes fn(0..n-1) on a pool of at most workers
+// goroutines. Each index runs exactly once; ordering between indices is
+// unspecified, so fn must only touch per-index state.
+func runBounded(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// LoadSuite loads every program in the suite on a bounded worker pool
+// (see SetParallelism). The result is deterministic: data[i] always
+// holds program i regardless of completion order.
 func LoadSuite() ([]*ProgramData, error) {
 	progs := suite.Programs()
 	data := make([]*ProgramData, len(progs))
 	errs := make([]error, len(progs))
-	var wg sync.WaitGroup
-	for i, p := range progs {
-		wg.Add(1)
-		go func(i int, p *suite.Program) {
-			defer wg.Done()
-			data[i], errs[i] = Load(p)
-		}(i, p)
-	}
-	wg.Wait()
+	runBounded(len(progs), Parallelism(), func(i int) {
+		data[i], errs[i] = Load(progs[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

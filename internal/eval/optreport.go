@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"staticest/internal/obs"
+	"staticest/internal/opt"
+	"staticest/internal/profile"
+	"staticest/internal/texttab"
+)
+
+// This file is the decision-agreement experiment the optimizer subsystem
+// exists for: run every optimizer (inlining plan, block layout, spill
+// weighting) under each frequency source and measure how closely the
+// estimate-driven decisions track the profile-driven ones. The paper's
+// thesis is that static estimates are accurate enough *for optimization
+// decisions*; this report tests exactly that, on decisions rather than
+// on raw counts.
+
+// InlineTopK is the decision horizon for inlining agreement: sources are
+// compared on which K call sites they would inline first.
+const InlineTopK = 10
+
+// OptRow is one (program, source) agreement summary against the
+// program's self profile (the aggregate of all its inputs).
+type OptRow struct {
+	Program string
+	Source  string
+
+	// InlineOverlap is the top-K overlap between the source's and the
+	// profile's hottest eligible call sites; InlineTau is Kendall tau-b
+	// over all eligible-site frequencies.
+	InlineOverlap float64
+	InlineTau     float64
+
+	// SpillTau is the mean Kendall tau-b of spill-cost rankings across
+	// executed functions with at least two candidate variables.
+	SpillTau float64
+
+	// FallThrough is the profile-measured fall-through rate of the block
+	// layout this source chooses; FallRaw/TotalRaw are its numerator and
+	// denominator, kept for exact suite-wide pooling.
+	FallThrough float64
+	FallRaw     float64
+	TotalRaw    float64
+}
+
+// OptProgram computes agreement rows for one program: one row per
+// comparison source (the static estimators plus the cross-input
+// profile), all against the self profile, plus the self-profile and
+// source-order layout rows that bracket the layout scores.
+func OptProgram(d *ProgramData) ([]OptRow, error) {
+	sp := Observer().StartSpan("opt.agree", obs.KV("prog", d.Prog.Name))
+	defer sp.End()
+
+	u := d.Unit
+	self, err := profile.Aggregate(d.Profiles)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", d.Prog.Name, err)
+	}
+	selfSrc := opt.ProfileSource(u.CFG, self, "profile")
+
+	sources := make([]*opt.Source, 0, len(opt.EstimateKinds)+1)
+	for _, kind := range opt.EstimateKinds {
+		s, err := opt.EstimateSource(u.CFG, d.Est, kind)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, s)
+	}
+	xp := self
+	if len(d.Profiles) > 1 {
+		if xp, err = profile.Aggregate(d.Profiles[1:]); err != nil {
+			return nil, err
+		}
+	}
+	sources = append(sources, opt.ProfileSource(u.CFG, xp, "xprof"))
+
+	eligible := opt.EligibleSites(u.CFG, u.Call)
+	siteVec := func(s *opt.Source) []float64 {
+		v := make([]float64, len(eligible))
+		for i, si := range eligible {
+			v[i] = s.Site[si.Site]
+		}
+		return v
+	}
+	profVec := siteVec(selfSrc)
+
+	spillTau := func(s *opt.Source) float64 {
+		var sum float64
+		var n int
+		for fi := range u.Sem.Funcs {
+			if self.FuncCalls[fi] == 0 {
+				continue
+			}
+			ws := opt.SpillWeights(u.CFG, fi, s)
+			wp := opt.SpillWeights(u.CFG, fi, selfSrc)
+			if len(ws) < 2 {
+				continue
+			}
+			a := make([]float64, len(ws))
+			b := make([]float64, len(ws))
+			for i := range ws {
+				a[i], b[i] = ws[i].Weight, wp[i].Weight
+			}
+			sum += opt.KendallTau(a, b)
+			n++
+		}
+		if n == 0 {
+			return 1
+		}
+		return sum / float64(n)
+	}
+
+	layoutRow := func(name string, lay *opt.Layout) OptRow {
+		rate, fall, total := opt.FallThroughRate(u.CFG, lay, selfSrc)
+		return OptRow{Program: d.Prog.Name, Source: name,
+			FallThrough: rate, FallRaw: fall, TotalRaw: total}
+	}
+
+	var rows []OptRow
+	for _, s := range sources {
+		row := layoutRow(s.Name, opt.ComputeLayout(u.CFG, s, Observer()))
+		row.InlineOverlap = opt.TopKOverlap(siteVec(s), profVec, InlineTopK)
+		row.InlineTau = opt.KendallTau(siteVec(s), profVec)
+		row.SpillTau = spillTau(s)
+		rows = append(rows, row)
+	}
+	// Brackets: the profile's own layout (upper) and source order (lower).
+	pr := layoutRow("profile", opt.ComputeLayout(u.CFG, selfSrc, Observer()))
+	pr.InlineOverlap, pr.InlineTau, pr.SpillTau = 1, 1, 1
+	so := layoutRow("src-order", opt.SourceOrderLayout(u.CFG))
+	rows = append(rows, pr, so)
+	return rows, nil
+}
+
+// OptReport computes agreement rows for every program plus pooled
+// suite-wide rows (Program == "SUITE"): decision metrics averaged across
+// programs, fall-through pooled from the raw numerators so every control
+// transfer in the suite counts once.
+func OptReport(data []*ProgramData) ([]OptRow, error) {
+	var rows []OptRow
+	pooled := map[string]*OptRow{}
+	order := []string{}
+	counts := map[string]int{}
+	for _, d := range data {
+		prows, err := OptProgram(d)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, prows...)
+		for _, r := range prows {
+			agg, ok := pooled[r.Source]
+			if !ok {
+				agg = &OptRow{Program: "SUITE", Source: r.Source}
+				pooled[r.Source] = agg
+				order = append(order, r.Source)
+			}
+			agg.InlineOverlap += r.InlineOverlap
+			agg.InlineTau += r.InlineTau
+			agg.SpillTau += r.SpillTau
+			agg.FallRaw += r.FallRaw
+			agg.TotalRaw += r.TotalRaw
+			counts[r.Source]++
+		}
+	}
+	for _, name := range order {
+		agg := pooled[name]
+		n := float64(counts[name])
+		agg.InlineOverlap /= n
+		agg.InlineTau /= n
+		agg.SpillTau /= n
+		if agg.TotalRaw > 0 {
+			agg.FallThrough = agg.FallRaw / agg.TotalRaw
+		}
+		rows = append(rows, *agg)
+	}
+	return rows, nil
+}
+
+// RenderOptReport renders the decision-agreement report.
+func RenderOptReport(rows []OptRow) string {
+	var sb strings.Builder
+	sb.WriteString("Optimizer decision agreement: estimate-driven vs profile-driven\n")
+	fmt.Fprintf(&sb, "inline: top-%d site overlap and Kendall tau vs self profile;\n", InlineTopK)
+	sb.WriteString("spill: mean ranking tau; fallthru: profile-measured fall-through rate\n\n")
+	t := texttab.New("program", "source", "inl-top10", "inl-tau", "spill-tau", "fallthru%").
+		AlignRight(2, 3, 4, 5)
+	for _, r := range rows {
+		if r.Source == "src-order" || r.Source == "profile" {
+			t.Row(r.Program, r.Source, "-", "-", "-",
+				fmt.Sprintf("%.1f", r.FallThrough*100))
+			continue
+		}
+		t.Row(r.Program, r.Source,
+			fmt.Sprintf("%.2f", r.InlineOverlap),
+			fmt.Sprintf("%.2f", r.InlineTau),
+			fmt.Sprintf("%.2f", r.SpillTau),
+			fmt.Sprintf("%.1f", r.FallThrough*100))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

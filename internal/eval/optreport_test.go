@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// optRows loads the suite and computes the agreement report once per
+// test binary.
+func optRows(t *testing.T) []OptRow {
+	t.Helper()
+	rows, err := OptReport(loadAll(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestOptReportInlineAgreementMargin pins the report's headline claim:
+// suite-wide, the smart and markov estimators' top-10 inlining decisions
+// overlap the self-profile's by at least 70% (measured ~85%).
+func TestOptReportInlineAgreementMargin(t *testing.T) {
+	for _, r := range optRows(t) {
+		if r.Program != "SUITE" {
+			continue
+		}
+		switch r.Source {
+		case "smart", "markov":
+			if r.InlineOverlap < 0.70 {
+				t.Errorf("SUITE %s: top-10 inline overlap %.2f below 0.70 margin",
+					r.Source, r.InlineOverlap)
+			}
+			if r.SpillTau < 0.75 {
+				t.Errorf("SUITE %s: spill ranking tau %.2f below 0.75 margin",
+					r.Source, r.SpillTau)
+			}
+		case "xprof":
+			if r.InlineOverlap < 0.90 {
+				t.Errorf("SUITE xprof: top-10 inline overlap %.2f below 0.90", r.InlineOverlap)
+			}
+		}
+	}
+}
+
+// TestOptReportLayoutBeatsSourceOrder pins the layout claim: for every
+// program, chaining under ANY source yields a strictly higher
+// profile-measured fall-through rate than source order.
+func TestOptReportLayoutBeatsSourceOrder(t *testing.T) {
+	rows := optRows(t)
+	baseline := map[string]float64{}
+	for _, r := range rows {
+		if r.Source == "src-order" {
+			baseline[r.Program] = r.FallThrough
+		}
+	}
+	for _, r := range rows {
+		if r.Source == "src-order" {
+			continue
+		}
+		base, ok := baseline[r.Program]
+		if !ok {
+			t.Fatalf("%s: no source-order baseline row", r.Program)
+		}
+		if r.FallThrough <= base {
+			t.Errorf("%s/%s: fall-through %.3f not above source order %.3f",
+				r.Program, r.Source, r.FallThrough, base)
+		}
+	}
+}
+
+// TestOptReportShape checks coverage: every suite program contributes
+// rows for every source plus both layout brackets, and the rendering
+// carries the suite summary.
+func TestOptReportShape(t *testing.T) {
+	rows := optRows(t)
+	perProgram := map[string]map[string]bool{}
+	for _, r := range rows {
+		if perProgram[r.Program] == nil {
+			perProgram[r.Program] = map[string]bool{}
+		}
+		perProgram[r.Program][r.Source] = true
+	}
+	if len(perProgram) != 15 { // 14 programs + SUITE
+		t.Errorf("report covers %d programs, want 15", len(perProgram))
+	}
+	for prog, srcs := range perProgram {
+		for _, want := range []string{"loop", "smart", "markov", "xprof", "profile", "src-order"} {
+			if !srcs[want] {
+				t.Errorf("%s: missing source %s", prog, want)
+			}
+		}
+	}
+	s := RenderOptReport(rows)
+	for _, want := range []string{"SUITE", "smart", "fallthru%", "xlisp"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+}

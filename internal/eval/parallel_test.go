@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"testing"
+
+	"staticest"
+)
+
+// TestLoadSuiteParallelDeterministic pins the bounded-pool refactor's
+// contract: loading the suite with one worker and with many produces
+// identical results — same program order, field-identical profiles.
+func TestLoadSuiteParallelDeterministic(t *testing.T) {
+	SetParallelism(1)
+	seq, err := LoadSuite()
+	SetParallelism(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LoadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("program count %d != %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].Prog.Name != par[i].Prog.Name {
+			t.Fatalf("slot %d: %s != %s — ordering depends on scheduling",
+				i, par[i].Prog.Name, seq[i].Prog.Name)
+		}
+		if len(seq[i].Profiles) != len(par[i].Profiles) {
+			t.Fatalf("%s: profile count differs", seq[i].Prog.Name)
+		}
+		for j := range seq[i].Profiles {
+			if diffs := staticest.DiffProfiles(seq[i].Profiles[j], par[i].Profiles[j]); len(diffs) > 0 {
+				t.Errorf("%s input %d: parallel profile differs: %s",
+					seq[i].Prog.Name, j, diffs[0])
+			}
+		}
+	}
+}
+
+func TestParallelismDefaults(t *testing.T) {
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism %d < 1", Parallelism())
+	}
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", Parallelism())
+	}
+	SetParallelism(-5)
+	if Parallelism() < 1 {
+		t.Fatalf("negative setting leaked through: %d", Parallelism())
+	}
+	SetParallelism(0)
+}

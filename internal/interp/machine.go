@@ -761,6 +761,13 @@ func (m *Machine) execStmt(fr *frame, s cast.Stmt) {
 			addr := m.localAddr(fr, d.Obj)
 			m.storeLocalInit(fr, addr, d.Obj.Type, d.Init)
 		}
+	case *cast.Clear:
+		// Synthesized by the inliner: zero an inlined callee's frame
+		// region, exactly as callFunc zeroes a fresh frame.
+		b := m.checkedSlice(fr.base+uint64(x.Off), x.Size)
+		for i := range b {
+			b[i] = 0
+		}
 	default:
 		m.fail("interp: unexpected statement %T in basic block", s)
 	}

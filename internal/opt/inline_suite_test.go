@@ -1,0 +1,156 @@
+package opt_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"staticest"
+	"staticest/internal/eval"
+	"staticest/internal/opt"
+	"staticest/internal/profile"
+)
+
+// TestSuiteInlineEquivalence is the transform's semantics-preservation
+// pin: for every suite program, inline aggressively under the self
+// profile, re-run every input on the transformed unit, and require (a)
+// identical output and exit code, and (b) exact profile equivalence
+// after folding — every block, branch, switch, and surviving call-site
+// count matches the original run, inlined sites drop to zero, and callee
+// invocation counts drop by exactly the folded-in calls.
+func TestSuiteInlineEquivalence(t *testing.T) {
+	data, err := eval.LoadSuiteCached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalInlined := 0
+	for _, d := range data {
+		d := d
+		t.Run(d.Prog.Name, func(t *testing.T) {
+			u := d.Unit
+			self, err := profile.Aggregate(d.Profiles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := u.ProfileFreqSource(self, "profile")
+			plan := u.PlanInline(src, 400)
+			if len(plan.Eligible) > 0 && len(plan.Chosen) == 0 {
+				t.Fatalf("%d eligible sites but nothing chosen", len(plan.Eligible))
+			}
+			nu, res, err := u.Inline(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalInlined += len(res.InlinedSites)
+			for i, in := range d.Prog.Inputs {
+				orig := d.Profiles[i]
+				r, err := nu.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+				if err != nil {
+					t.Fatalf("input %s: inlined run: %v", in.Name, err)
+				}
+				origRun, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+				if err != nil {
+					t.Fatalf("input %s: original run: %v", in.Name, err)
+				}
+				if r.ExitCode != origRun.ExitCode {
+					t.Errorf("input %s: exit code %d != %d", in.Name, r.ExitCode, origRun.ExitCode)
+				}
+				if !bytes.Equal(r.Output, origRun.Output) {
+					t.Errorf("input %s: output diverged after inlining", in.Name)
+				}
+				folded := opt.FoldProfile(u.CFG, res, r.Profile)
+				if bad := opt.CheckEquivalence(u.CFG, res, orig, folded); len(bad) > 0 {
+					t.Errorf("input %s: profile not equivalent:\n  %s",
+						in.Name, strings.Join(bad, "\n  "))
+				}
+			}
+		})
+	}
+	if totalInlined < 50 {
+		t.Errorf("only %d sites inlined suite-wide; transform barely exercised", totalInlined)
+	}
+}
+
+// TestInlineEstimateSourcesPlanAndApply exercises the estimate-driven
+// path end to end on one call-heavy program per estimator: plans differ
+// from the profile plan in general, but the transform must stay
+// semantics-preserving regardless of which source ranked the sites.
+func TestInlineEstimateSourcesPlanAndApply(t *testing.T) {
+	data, err := eval.LoadSuiteCached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *eval.ProgramData
+	for _, cand := range data {
+		if cand.Prog.Name == "xlisp" {
+			d = cand
+		}
+	}
+	if d == nil {
+		t.Fatal("xlisp not in suite")
+	}
+	for _, kind := range opt.EstimateKinds {
+		t.Run(kind, func(t *testing.T) {
+			u := d.Unit
+			src, err := u.EstimateFreqSource(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := u.PlanInline(src, 0) // default budget
+			if len(plan.Chosen) == 0 {
+				t.Fatal("estimate source chose nothing on xlisp")
+			}
+			if plan.CostUsed > plan.Budget {
+				t.Fatalf("cost %d exceeds budget %d", plan.CostUsed, plan.Budget)
+			}
+			nu, res, err := u.Inline(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := d.Prog.Inputs[0]
+			r, err := nu.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			folded := opt.FoldProfile(u.CFG, res, r.Profile)
+			if bad := opt.CheckEquivalence(u.CFG, res, d.Profiles[0], folded); len(bad) > 0 {
+				t.Errorf("profile not equivalent:\n  %s", strings.Join(bad, "\n  "))
+			}
+		})
+	}
+}
+
+// TestInlineDoesNotMutateOriginal pins the working-copy discipline:
+// units are shared process-wide, so planning and applying on one must
+// leave its graphs, frame sizes, and block counts untouched.
+func TestInlineDoesNotMutateOriginal(t *testing.T) {
+	data, err := eval.LoadSuiteCached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data[0]
+	u := d.Unit
+	beforeBlocks := make([]int, len(u.CFG.Graphs))
+	beforeFrames := make([]int64, len(u.Sem.Funcs))
+	for i, g := range u.CFG.Graphs {
+		beforeBlocks[i] = len(g.Blocks)
+		beforeFrames[i] = u.Sem.Funcs[i].FrameSize
+	}
+	self, err := profile.Aggregate(d.Profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Inline(u.PlanInline(u.ProfileFreqSource(self, "profile"), 400)); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range u.CFG.Graphs {
+		if len(g.Blocks) != beforeBlocks[i] {
+			t.Errorf("func %d: original block count changed %d -> %d",
+				i, beforeBlocks[i], len(g.Blocks))
+		}
+		if u.Sem.Funcs[i].FrameSize != beforeFrames[i] {
+			t.Errorf("func %d: original frame size changed %d -> %d",
+				i, beforeFrames[i], u.Sem.Funcs[i].FrameSize)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package opt
+
+import "math"
+
+// Rank-agreement metrics: how closely do two frequency sources agree on
+// *decisions*? Optimizers consume rankings (hottest site first, most
+// expensive spill first), so agreement is measured on rankings, not on
+// absolute counts.
+
+// TopKOverlap returns |topK(a) ∩ topK(b)| / k: the fraction of b's top-k
+// indices (by descending value, ties by index) that a's top-k shares.
+// k is clamped to the vector length. Returns 1 for empty inputs — two
+// sources trivially agree about nothing.
+func TopKOverlap(a, b []float64, k int) float64 {
+	if k > len(a) {
+		k = len(a)
+	}
+	if k <= 0 {
+		return 1
+	}
+	ta, tb := topK(a, k), topK(b, k)
+	inA := make(map[int]bool, k)
+	for _, i := range ta {
+		inA[i] = true
+	}
+	shared := 0
+	for _, i := range tb {
+		if inA[i] {
+			shared++
+		}
+	}
+	return float64(shared) / float64(k)
+}
+
+func topK(v []float64, k int) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection by repeated max keeps this O(n·k); k is small (≤10).
+	for pos := 0; pos < k; pos++ {
+		best := pos
+		for j := pos + 1; j < len(idx); j++ {
+			if v[idx[j]] > v[idx[best]] ||
+				(v[idx[j]] == v[idx[best]] && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[pos], idx[best] = idx[best], idx[pos]
+	}
+	return idx[:k]
+}
+
+// KendallTau computes the tau-b rank correlation between two parallel
+// value vectors: +1 for identical rankings, -1 for reversed, 0 for
+// unrelated. Tau-b corrects for ties, which matter here — estimate
+// vectors assign equal frequencies to whole groups of sites. Returns 0
+// when either vector is entirely tied (no ranking to agree with).
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da, db := a[i]-a[j], b[i]-b[j]
+			switch {
+			case da == 0 && db == 0:
+				// tied in both: contributes to neither denominator term
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denomA := concordant + discordant + tiesA
+	denomB := concordant + discordant + tiesB
+	if denomA == 0 || denomB == 0 {
+		return 0
+	}
+	return (concordant - discordant) / math.Sqrt(denomA*denomB)
+}

@@ -1,0 +1,60 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKendallTau(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical", []float64{3, 1, 2}, []float64{30, 10, 20}, 1},
+		{"reversed", []float64{1, 2, 3}, []float64{3, 2, 1}, -1},
+		{"short", []float64{1}, []float64{2}, 0},
+		{"all-tied-a", []float64{1, 1, 1}, []float64{1, 2, 3}, 0},
+		{"half", []float64{1, 2, 3, 4}, []float64{1, 2, 4, 3}, 2.0 / 3},
+	}
+	for _, c := range cases {
+		if got := KendallTau(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: KendallTau = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// a groups {x,y} as tied where b splits them: tau-b must stay
+	// strictly between the untied extremes.
+	a := []float64{5, 5, 1}
+	b := []float64{6, 4, 1}
+	got := KendallTau(a, b)
+	if got <= 0 || got >= 1 {
+		t.Errorf("tau-b with ties = %v, want in (0, 1)", got)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{9, 8, 7, 1, 2}
+	b := []float64{9, 1, 7, 8, 2}
+	// top-3(a) = {0,1,2}, top-3(b) = {0,3,2} -> 2/3 shared.
+	if got := TopKOverlap(a, b, 3); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("TopKOverlap = %v, want 2/3", got)
+	}
+	if got := TopKOverlap(a, a, 10); got != 1 { // k clamped to len
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+	if got := TopKOverlap(nil, nil, 5); got != 1 {
+		t.Errorf("empty overlap = %v, want 1", got)
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	// Equal values resolve to the lower index, so two tied sources agree.
+	v := []float64{1, 1, 1, 1}
+	got := topK(v, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("topK ties = %v, want [0 1]", got)
+	}
+}

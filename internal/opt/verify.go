@@ -1,0 +1,117 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"staticest/internal/cfg"
+	"staticest/internal/profile"
+)
+
+// FoldProfile maps a profile measured on the inlined unit back onto the
+// original unit's shape: each transformed block's count is added to the
+// original block it descends from (synthetic continuation blocks are
+// dropped — they duplicate their upper half's count). Site-indexed
+// counters transfer unchanged because the transform preserves every
+// sem-assigned ID.
+func FoldProfile(orig *cfg.Program, res *Result, p *profile.Profile) *profile.Profile {
+	out := profile.New(cfg.ProfileShape(orig))
+	out.Label = p.Label
+	for fi, g := range res.CFG.Graphs {
+		for b := range g.Blocks {
+			o := res.Origins[fi][b]
+			if o.Func >= 0 {
+				out.BlockCounts[o.Func][o.Block] += p.BlockCounts[fi][b]
+			}
+		}
+	}
+	copy(out.FuncCalls, p.FuncCalls)
+	copy(out.CallSiteCounts, p.CallSiteCounts)
+	copy(out.BranchTaken, p.BranchTaken)
+	copy(out.BranchNot, p.BranchNot)
+	for i := range p.SwitchArm {
+		copy(out.SwitchArm[i], p.SwitchArm[i])
+	}
+	out.Cycles = p.Cycles
+	return out
+}
+
+// CallsEliminated sums the original profile's counts of the inlined
+// sites: the dynamic calls the transform removed.
+func CallsEliminated(want *profile.Profile, inlined []int) float64 {
+	var n float64
+	for _, s := range inlined {
+		n += want.CallSiteCounts[s]
+	}
+	return n
+}
+
+const countEps = 1e-6
+
+// CheckEquivalence verifies that the inlined unit is profile-equivalent
+// to the original: want is the original unit's measured profile, got is
+// the inlined unit's profile folded back with FoldProfile. Every block,
+// branch, and switch count must match exactly; an inlined site's count
+// must drop to zero (its call statement no longer exists anywhere);
+// every other site count must match; and each function's invocation
+// count must drop by exactly the calls the inlined sites used to make to
+// it. Returns a list of human-readable mismatches (empty = equivalent).
+func CheckEquivalence(orig *cfg.Program, res *Result, want, got *profile.Profile) []string {
+	var bad []string
+	mismatch := func(format string, args ...any) {
+		if len(bad) < 20 {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+	}
+	eq := func(a, b float64) bool { return math.Abs(a-b) <= countEps }
+
+	sp := orig.Sem
+	for fi := range want.BlockCounts {
+		for b := range want.BlockCounts[fi] {
+			if !eq(want.BlockCounts[fi][b], got.BlockCounts[fi][b]) {
+				mismatch("func %s block b%d: count %.0f != %.0f",
+					sp.Funcs[fi].Name(), b, got.BlockCounts[fi][b], want.BlockCounts[fi][b])
+			}
+		}
+	}
+	for i := range want.BranchTaken {
+		if !eq(want.BranchTaken[i], got.BranchTaken[i]) || !eq(want.BranchNot[i], got.BranchNot[i]) {
+			mismatch("branch site %d: taken/not %.0f/%.0f != %.0f/%.0f",
+				i, got.BranchTaken[i], got.BranchNot[i], want.BranchTaken[i], want.BranchNot[i])
+		}
+	}
+	for i := range want.SwitchArm {
+		for a := range want.SwitchArm[i] {
+			if !eq(want.SwitchArm[i][a], got.SwitchArm[i][a]) {
+				mismatch("switch site %d arm %d: count %.0f != %.0f",
+					i, a, got.SwitchArm[i][a], want.SwitchArm[i][a])
+			}
+		}
+	}
+
+	inlined := make(map[int]bool, len(res.InlinedSites))
+	for _, s := range res.InlinedSites {
+		inlined[s] = true
+	}
+	// removedCalls[g] = dynamic invocations of g that the transform turned
+	// into straight-line execution.
+	removedCalls := make([]float64, len(want.FuncCalls))
+	for _, site := range sp.CallSites {
+		if inlined[site.ID] {
+			if !eq(got.CallSiteCounts[site.ID], 0) {
+				mismatch("inlined site %d still counts %.0f calls", site.ID, got.CallSiteCounts[site.ID])
+			}
+			removedCalls[site.Callee.FuncIndex] += want.CallSiteCounts[site.ID]
+		} else if !eq(want.CallSiteCounts[site.ID], got.CallSiteCounts[site.ID]) {
+			mismatch("site %d: count %.0f != %.0f",
+				site.ID, got.CallSiteCounts[site.ID], want.CallSiteCounts[site.ID])
+		}
+	}
+	for fi := range want.FuncCalls {
+		if !eq(got.FuncCalls[fi], want.FuncCalls[fi]-removedCalls[fi]) {
+			mismatch("func %s: %.0f invocations != %.0f - %.0f removed",
+				sp.Funcs[fi].Name(), got.FuncCalls[fi], want.FuncCalls[fi], removedCalls[fi])
+		}
+	}
+	return bad
+}

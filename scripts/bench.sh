@@ -11,7 +11,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=${BENCH_OUT:-BENCH_interp.json}
-filter=${BENCH_FILTER:-'InterpretCompress|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd'}
+filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd'}
 benchtime=${BENCH_TIME:-1x}
 
 raw=$(mktemp)

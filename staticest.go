@@ -25,6 +25,7 @@ import (
 	"staticest/internal/cparse"
 	"staticest/internal/interp"
 	"staticest/internal/obs"
+	"staticest/internal/opt"
 	"staticest/internal/probes"
 	"staticest/internal/profile"
 	"staticest/internal/sem"
@@ -190,4 +191,59 @@ func Reconstruct(plan *ProbePlan, vec *ProbeVector, optFactor map[int]float64) (
 // verification paths in tests and cmd/cprof.
 func DiffProfiles(want, got *profile.Profile) []string {
 	return probes.Diff(want, got)
+}
+
+// FreqSource is a frequency source the optimizer subsystem consumes:
+// absolute block, invocation, and call-site frequencies plus edge
+// frequencies (see internal/opt). Estimates and measured profiles
+// present the same interface.
+type FreqSource = opt.Source
+
+// InlinePlan is a ranked, budgeted set of inlining decisions.
+type InlinePlan = opt.InlinePlan
+
+// InlineResult is a transformed (inlined) unit plus the origin map that
+// folds its measured profiles back onto the original unit's shape.
+type InlineResult = opt.Result
+
+// EstimateFreqSource builds a frequency source from one of the static
+// estimator ladders: "loop", "smart", or "markov".
+func (u *Unit) EstimateFreqSource(kind string) (*FreqSource, error) {
+	return opt.EstimateSource(u.CFG, u.Estimate(), kind)
+}
+
+// ProfileFreqSource wraps a measured (or aggregated) profile as a
+// frequency source named name.
+func (u *Unit) ProfileFreqSource(p *profile.Profile, name string) *FreqSource {
+	return opt.ProfileSource(u.CFG, p, name)
+}
+
+// PlanInline ranks the unit's inlinable call sites by the source's
+// frequencies and greedily selects them under a size budget (cloned
+// callee blocks; <= 0 selects opt.DefaultBudget).
+func (u *Unit) PlanInline(src *FreqSource, budget int) *InlinePlan {
+	sp := u.obs.StartSpan("opt.inline.plan",
+		obs.KV("prog", u.Name), obs.KV("source", src.Name))
+	defer sp.End()
+	return opt.PlanInline(u.CFG, u.Call, src, budget)
+}
+
+// Inline applies an inlining plan and returns a new Unit wrapping the
+// transformed program (the receiver is never mutated — units are shared)
+// together with the transform result. The new unit runs under the same
+// interpreter; fold its profiles back with opt.FoldProfile to compare
+// against the original's.
+func (u *Unit) Inline(plan *InlinePlan) (*Unit, *InlineResult, error) {
+	res, err := opt.ApplyInline(u.CFG, u.Call, plan, u.obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	nu := &Unit{
+		Name: u.Name,
+		Sem:  res.CFG.Sem,
+		CFG:  res.CFG,
+		Call: u.Call, // call sites and their IDs are preserved verbatim
+		obs:  u.obs,
+	}
+	return nu, res, nil
 }
