@@ -1,0 +1,101 @@
+// Command serve runs the estimation service: a long-lived HTTP/JSON
+// daemon answering estimation, profiling, optimization, and
+// explainability queries over a compiled-unit cache (see
+// internal/server). The full pipeline sits behind four endpoints:
+//
+//	POST /v1/estimate   static block/invocation/call-site estimates
+//	POST /v1/profile    interpreter run, full or sparse instrumentation
+//	POST /v1/optimize   inline plan / layout / spill reports
+//	GET  /v1/explain    per-heuristic attribution vs a measured profile
+//
+// plus /healthz, /metrics (Prometheus text exposition), and
+// /debug/pprof/. Requests name a benchmark-suite program or ship C
+// source inline; identical sources share one cached compilation
+// (singleflight), so a hot source is compiled exactly once no matter
+// how many clients ask.
+//
+// SIGTERM or SIGINT starts a graceful drain: in-flight requests finish
+// (bounded by -drain) before the process exits.
+//
+// Usage:
+//
+//	serve -addr :8080
+//	serve -addr :8080 -cache 128 -timeout 30s -j 4 -trace events.jsonl
+//
+//	curl -s localhost:8080/v1/estimate -d '{"program":"compress"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"staticest/internal/eval"
+	"staticest/internal/obs"
+	"staticest/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	cache := flag.Int("cache", 64, "compiled units kept in the LRU cache")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request wall-clock budget")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	maxBody := flag.Int64("max-body", 4<<20, "request body size cap in bytes")
+	maxSteps := flag.Int64("max-steps", 50_000_000, "block-execution budget per served run")
+	jobs := flag.Int("j", 0, "concurrent pipeline requests (0 = GOMAXPROCS)")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: serve [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	eval.SetParallelism(*jobs)
+
+	var opts []obs.Option
+	var traceFile *os.File
+	if *trace != "" {
+		w := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: opening trace file: %v\n", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			w = f
+		}
+		opts = append(opts, obs.WithSink(obs.NewJSONLSink(w)))
+	}
+	o := obs.New(opts...)
+	eval.SetObserver(o)
+
+	s := server.New(server.Config{
+		CacheSize:      *cache,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		MaxSteps:       *maxSteps,
+		Obs:            o,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+	err := s.ListenAndServe(ctx, *addr)
+	o.Flush()
+	if traceFile != nil {
+		traceFile.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained, exiting")
+}

@@ -1,0 +1,33 @@
+/* Every control-flow construct the CFG builder knows about. */
+#include <stdio.h>
+
+int classify(int x) {
+	switch (x % 4) {
+	case 0:
+		return 10;
+	case 1:
+	case 2:
+		return 20;
+	default:
+		break;
+	}
+	return 30;
+}
+
+int main(void) {
+	int i, n, acc;
+	acc = 0;
+	n = 12;
+	for (i = 0; i < n; i++) {
+		if (i % 3 == 0)
+			continue;
+		acc += classify(i);
+	}
+	while (acc > 100)
+		acc -= 7;
+	do {
+		acc++;
+	} while (acc < 50);
+	printf("%d\n", acc);
+	return acc == 0 ? 1 : 0;
+}

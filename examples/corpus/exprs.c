@@ -1,0 +1,22 @@
+/* Expression grammar: precedence, casts, sizeof, ternary, logicals. */
+#define SHIFT(v, n) 0
+#define LIMIT 100
+
+int twiddle(unsigned int v) {
+	unsigned int m;
+	m = (v << 3) ^ (v >> 2);
+	m |= v & 0xff;
+	m += sizeof(int) + sizeof v;
+	return (int)(m % LIMIT);
+}
+
+int main(void) {
+	int a = 3, b = -4, c;
+	double d;
+	c = a > b ? a++ : --b;
+	c += twiddle((unsigned int)c) << 1;
+	d = (double)c / 2.5e1;
+	if (!(a && b) || c != 0)
+		c = ~c;
+	return d > 1.0 && c % 2 == 0;
+}

@@ -1,0 +1,21 @@
+/* The light preprocessing pass: object-like macros, comments, includes. */
+#include <stdio.h>
+#include <stdlib.h>
+#define N 8
+#define GREETING "hi\n"
+#define STEP (N / 2)
+
+// line comment with /* tricky */ content
+/* block comment
+   spanning lines // with a line comment inside */
+
+int main(void) {
+	int i;
+	char buf[N];
+	for (i = 0; i + STEP < N; i++)
+		buf[i] = 'a' + i;
+	buf[i] = '\0';
+	printf(GREETING);
+	printf("%s\n", buf);
+	return 0;
+}

@@ -1,0 +1,17 @@
+/* The paper's running example: find a character in a string. */
+#define NULL 0
+
+char *my_strchr(char *str, int c) {
+	while (*str) {
+		if (*str == c)
+			return str;
+		str++;
+	}
+	return NULL;
+}
+
+int main(void) {
+	my_strchr("abc", 'a');
+	my_strchr("abc", 'b');
+	return 0;
+}

@@ -1,0 +1,21 @@
+/* Literals: strings with escapes, character constants, number bases. */
+int length(char *s) {
+	int n = 0;
+	while (s[n] != '\0')
+		n++;
+	return n;
+}
+
+int main(void) {
+	char *msg = "tab\tnewline\nquote\"backslash\\ hex\x41 octal\101";
+	char nl = '\n';
+	char hx = '\x7f';
+	int dec = 1234567890;
+	int oct = 0755;
+	int hex = 0xDEADbeef;
+	long big = 1234567890123L;
+	unsigned u = 42u;
+	double f1 = 1.5, f2 = .25, f3 = 2., f4 = 1e10, f5 = 1.5e-3;
+	return length(msg) + (int)nl + (int)hx + (dec & oct & hex) + (int)big +
+	       (int)u + (int)(f1 + f2 + f3 + f4 + f5) > 0;
+}

@@ -1,0 +1,38 @@
+/* Declarations: typedefs, structs, unions, enums, arrays, pointers. */
+typedef struct point {
+	int x;
+	int y;
+} Point;
+
+union word {
+	int i;
+	char bytes[4];
+};
+
+enum color { RED, GREEN = 5, BLUE };
+
+typedef int (*binop)(int, int);
+
+static int add(int a, int b) { return a + b; }
+
+int sum(Point *ps, int n) {
+	int i;
+	int total = 0;
+	for (i = 0; i < n; i++)
+		total = add(total, ps[i].x + ps[i].y);
+	return total;
+}
+
+int main(void) {
+	Point grid[3];
+	union word w;
+	binop f;
+	int i;
+	for (i = 0; i < 3; i++) {
+		grid[i].x = i;
+		grid[i].y = i * (int)BLUE;
+	}
+	w.i = 7;
+	f = add;
+	return f(sum(grid, 3), w.bytes[0]) & GREEN;
+}

@@ -1,0 +1,57 @@
+package clex_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"staticest/internal/clex"
+	"staticest/internal/ctoken"
+)
+
+// seedCorpus loads the C-subset programs under examples/corpus as fuzz seeds.
+func seedCorpus(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "corpus", "*.c"))
+	if err != nil {
+		f.Fatalf("glob corpus: %v", err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no seed corpus files found under examples/corpus")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read %s: %v", p, err)
+		}
+		f.Add(src)
+	}
+}
+
+// FuzzLex checks that the lexer never panics and that on success it
+// produces a token stream terminated by exactly one EOF token.
+func FuzzLex(f *testing.F) {
+	seedCorpus(f)
+	f.Add([]byte("int main(void) { return 'x'; }"))
+	f.Add([]byte(`"unterminated`))
+	f.Add([]byte("/* unterminated comment"))
+	f.Add([]byte("#define A B\n#include <x.h>\nA"))
+	f.Add([]byte("0x 0755 1e 1e+ .5. '\\"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		toks, err := clex.Tokenize("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 {
+			t.Fatal("Tokenize returned no tokens and no error")
+		}
+		last := toks[len(toks)-1]
+		if last.Kind != ctoken.EOF {
+			t.Fatalf("token stream does not end in EOF: got %v %q", last.Kind, last.Text)
+		}
+		for i, tok := range toks[:len(toks)-1] {
+			if tok.Kind == ctoken.EOF {
+				t.Fatalf("EOF token at position %d of %d", i, len(toks))
+			}
+		}
+	})
+}

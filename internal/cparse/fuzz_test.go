@@ -1,0 +1,39 @@
+package cparse_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"staticest/internal/cparse"
+)
+
+// FuzzParse checks that the parser never panics: every input must yield
+// either a *cast.File or an error, never a crash.
+func FuzzParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "corpus", "*.c"))
+	if err != nil {
+		f.Fatalf("glob corpus: %v", err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no seed corpus files found under examples/corpus")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read %s: %v", p, err)
+		}
+		f.Add(src)
+	}
+	f.Add([]byte("typedef int T; T f(T t) { return t; }"))
+	f.Add([]byte("int f() { for(;;) break; }"))
+	f.Add([]byte("struct s { struct s *next; };"))
+	f.Add([]byte("int f(int a, ...) { return a; }"))
+	f.Add([]byte("int x = "))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		file, err := cparse.ParseFile("fuzz.c", src)
+		if err == nil && file == nil {
+			t.Fatal("ParseFile returned nil file and nil error")
+		}
+	})
+}

@@ -136,6 +136,31 @@ func LoadSuite() ([]*ProgramData, error) {
 	return data, nil
 }
 
+// progCache memoizes LoadCached per program name; entries are
+// *progEntry so concurrent first loads of one program do the work once.
+var progCache sync.Map
+
+type progEntry struct {
+	once sync.Once
+	data *ProgramData
+	err  error
+}
+
+// LoadCached compiles and profiles one suite program once per process
+// and returns shared, read-only data. Unlike LoadSuiteCached it loads
+// only the named program, so callers that serve per-program queries
+// (cmd/serve) pay for exactly the programs that are asked about.
+// Concurrent first calls for the same program deduplicate: the load
+// runs once and everyone gets the same *ProgramData.
+func LoadCached(p *suite.Program) (*ProgramData, error) {
+	e, _ := progCache.LoadOrStore(p.Name, &progEntry{})
+	entry := e.(*progEntry)
+	entry.once.Do(func() {
+		entry.data, entry.err = Load(p)
+	})
+	return entry.data, entry.err
+}
+
 var (
 	suiteOnce sync.Once
 	suiteData []*ProgramData

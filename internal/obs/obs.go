@@ -151,6 +151,22 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(floatBits(v))
 }
 
+// Add shifts the gauge by delta (atomically; negative deltas allowed).
+// It backs up/down quantities like in-flight request counts, where
+// concurrent writers must not lose increments the way racing
+// Value()+Set pairs would.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFromBits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -284,3 +284,35 @@ func BenchmarkSpanStartEnd(b *testing.B) {
 		sp.End()
 	}
 }
+
+func TestGaugeAdd(t *testing.T) {
+	o := New()
+	g := o.Gauge("inflight")
+	g.Add(2)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Gauge.Add: got %v, want 1.5", got)
+	}
+
+	// Concurrent adds must not lose increments.
+	var wg sync.WaitGroup
+	g.Set(0)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8 {
+		t.Fatalf("concurrent Gauge.Add: got %v, want 8", got)
+	}
+
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}

@@ -170,8 +170,8 @@ func FallThroughRate(cp *cfg.Program, lay *Layout, prof *Source) (rate, fall, to
 func FuncOrder(cg *callgraph.Graph, src *Source) []int {
 	n := len(cg.Adj)
 	var edges []wedge
-	for key, e := range cg.Edges {
-		if key[0] == key[1] {
+	for _, e := range sortedEdges(cg) {
+		if e.Caller == e.Callee {
 			continue
 		}
 		var w float64
@@ -198,8 +198,8 @@ func WeightedCallDistance(order []int, cg *callgraph.Graph, prof *Source) float6
 		pos[fi] = k
 	}
 	var d float64
-	for key, e := range cg.Edges {
-		if key[0] == key[1] {
+	for _, e := range sortedEdges(cg) {
+		if e.Caller == e.Callee {
 			continue
 		}
 		var w float64
@@ -213,4 +213,22 @@ func WeightedCallDistance(order []int, cg *callgraph.Graph, prof *Source) float6
 		d += w * float64(dist)
 	}
 	return d
+}
+
+// sortedEdges returns the call graph's edges in (caller, callee) order.
+// cg.Edges is a map; ranging it directly makes float accumulation (and
+// equal-weight tie-breaks) depend on iteration order, which the serving
+// layer's byte-identical-response guarantee cannot tolerate.
+func sortedEdges(cg *callgraph.Graph) []*callgraph.Edge {
+	out := make([]*callgraph.Edge, 0, len(cg.Edges))
+	for _, e := range cg.Edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Caller != out[b].Caller {
+			return out[a].Caller < out[b].Caller
+		}
+		return out[a].Callee < out[b].Callee
+	})
+	return out
 }

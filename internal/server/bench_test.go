@@ -1,0 +1,50 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"staticest/internal/obs"
+	"staticest/internal/server"
+)
+
+// BenchmarkServeEstimate measures the serving latency of the cache-hit
+// path — the steady state of a long-lived daemon: the unit and its
+// estimates are already cached, so each request pays only routing,
+// middleware, ranking, and JSON marshaling. scripts/bench.sh records it
+// in the BENCH_interp.json trajectory.
+func BenchmarkServeEstimate(b *testing.B) {
+	s := server.New(server.Config{Obs: obs.New()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`
+	do := func() {
+		resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	do() // warm the cache: the measured loop is pure cache hits
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do()
+	}
+	b.StopTimer()
+	o := s.Observer()
+	if miss := o.Counter("server_cache_miss").Value(); miss != 1 {
+		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
+	}
+}

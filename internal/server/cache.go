@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"staticest"
+	"staticest/internal/core"
+	"staticest/internal/probes"
+)
+
+// compiled is one cached compilation: the unit plus lazily-memoized
+// derived artifacts (static estimates, probe plan) that every request
+// for the same source would otherwise recompute. The memoization makes
+// the cache-hit path pure serving: after the first estimate/profile
+// request for a source, later ones only rank and marshal.
+type compiled struct {
+	unit        *staticest.Unit
+	fingerprint string
+
+	estOnce sync.Once
+	est     *core.Estimates
+
+	planOnce sync.Once
+	plan     *probes.Plan
+}
+
+// estimates returns the unit's static estimates, computing them on
+// first use.
+func (c *compiled) estimates() *core.Estimates {
+	c.estOnce.Do(func() { c.est = c.unit.Estimate() })
+	return c.est
+}
+
+// probePlan returns the unit's sparse probe placement, computing it on
+// first use.
+func (c *compiled) probePlan() *probes.Plan {
+	c.planOnce.Do(func() { c.plan = c.unit.PlanProbes() })
+	return c.plan
+}
+
+// unitCache is a bounded LRU of compiled units keyed by source
+// fingerprint, with singleflight deduplication: when N requests for the
+// same uncached source arrive concurrently, exactly one compiles and
+// the other N-1 block on its result. Compile errors are returned to
+// every waiter but never cached — a retry recompiles.
+type unitCache struct {
+	mu      sync.Mutex
+	max     int
+	lru     list.List // front = most recently used; values are *compiled
+	byKey   map[string]*list.Element
+	flights map[string]*flight
+}
+
+// flight is one in-progress compile; waiters block on done.
+type flight struct {
+	done chan struct{}
+	c    *compiled
+	err  error
+}
+
+func newUnitCache(max int) *unitCache {
+	if max < 1 {
+		max = 1
+	}
+	return &unitCache{
+		max:     max,
+		byKey:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// get returns the cached compilation for key, compiling with compile on
+// a miss. The bool reports whether this caller performed the compile
+// (the cache-miss leader); waiters deduplicated onto another caller's
+// in-flight compile report a hit, because no additional work happened.
+func (uc *unitCache) get(key string, compile func() (*staticest.Unit, error)) (*compiled, bool, error) {
+	uc.mu.Lock()
+	if el, ok := uc.byKey[key]; ok {
+		uc.lru.MoveToFront(el)
+		c := el.Value.(*compiled)
+		uc.mu.Unlock()
+		return c, false, nil
+	}
+	if f, ok := uc.flights[key]; ok {
+		uc.mu.Unlock()
+		<-f.done
+		return f.c, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	uc.flights[key] = f
+	uc.mu.Unlock()
+
+	unit, err := compile()
+	if err == nil {
+		f.c = &compiled{unit: unit, fingerprint: key}
+	}
+	f.err = err
+
+	uc.mu.Lock()
+	delete(uc.flights, key)
+	if err == nil {
+		uc.insertLocked(key, f.c)
+	}
+	uc.mu.Unlock()
+	close(f.done)
+	return f.c, true, err
+}
+
+// insertLocked adds a fresh entry and evicts from the cold end past max.
+func (uc *unitCache) insertLocked(key string, c *compiled) {
+	uc.byKey[key] = uc.lru.PushFront(c)
+	for uc.lru.Len() > uc.max {
+		el := uc.lru.Back()
+		uc.lru.Remove(el)
+		delete(uc.byKey, el.Value.(*compiled).fingerprint)
+	}
+}
+
+// len returns the number of cached units.
+func (uc *unitCache) len() int {
+	uc.mu.Lock()
+	defer uc.mu.Unlock()
+	return uc.lru.Len()
+}

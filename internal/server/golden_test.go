@@ -1,0 +1,90 @@
+package server_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"staticest/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenEndpoints pins each endpoint's exact JSON: the wire format
+// is API surface, so an accidental field rename, reordering, or
+// numeric drift fails here. Regenerate with -update after intentional
+// changes. The pipeline is deterministic end to end (compilation,
+// estimation, interpretation), so byte-exact goldens are stable.
+func TestGoldenEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+	}{
+		{"estimate_strchr", "POST", "/v1/estimate",
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`},
+		{"profile_full_strchr", "POST", "/v1/profile",
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`},
+		{"profile_sparse_strchr", "POST", "/v1/profile",
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"instrumentation":"sparse"}`},
+		{"optimize_inline_strchr", "POST", "/v1/optimize",
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"reports":["inline"]}`},
+		{"optimize_compress", "POST", "/v1/optimize",
+			`{"program":"compress","freq_source":"smart","budget":32}`},
+		{"explain_compress", "GET", "/v1/explain?program=compress&top=5", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			switch tc.method {
+			case "POST":
+				resp, err = http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			default:
+				resp, err = http.Get(ts.URL + tc.path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			got, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			checkGolden(t, tc.name+".json", got)
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (re-run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response differs from %s (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"staticest/internal/obs"
+)
+
+// TestPanicRecovery proves the middleware turns a handler panic into a
+// 500 JSON error, bumps server_panics_total, and leaves the inflight
+// gauge balanced — the server must survive its own bugs.
+func TestPanicRecovery(t *testing.T) {
+	o := obs.New()
+	s := New(Config{Obs: o})
+	h := s.api("boom", func(_ *http.Request) (any, error) {
+		panic("kaboom")
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/boom", strings.NewReader("{}")))
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"error"`) || !strings.Contains(body, "kaboom") {
+		t.Errorf("body %q does not report the panic", body)
+	}
+	if n := o.Counter("server_panics_total").Value(); n != 1 {
+		t.Errorf("server_panics_total = %d, want 1", n)
+	}
+	if v := o.Gauge("server_inflight").Value(); v != 0 {
+		t.Errorf("server_inflight = %v after panic, want 0", v)
+	}
+	if n := o.Counter(obs.Labels("server_errors_total", "endpoint", "boom")).Value(); n != 1 {
+		t.Errorf("server_errors_total = %d, want 1", n)
+	}
+}
+
+// TestCacheErrorNotCached pins that failed compiles are never inserted:
+// a retry recompiles (two misses), and the cache stays empty.
+func TestCacheErrorNotCached(t *testing.T) {
+	s := New(Config{Obs: obs.New()})
+	bad := []byte("int main(void { return 0; }")
+	for i := 0; i < 2; i++ {
+		if _, err := s.compileCached("bad.c", bad); err == nil {
+			t.Fatal("compile of invalid source succeeded")
+		}
+	}
+	if n := s.misses.Value(); n != 2 {
+		t.Errorf("misses = %d, want 2 (errors must not be cached)", n)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Errorf("cache holds %d units after failed compiles, want 0", n)
+	}
+}

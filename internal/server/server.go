@@ -1,0 +1,309 @@
+// Package server is the long-running estimation service: an HTTP/JSON
+// daemon exposing the full staticest pipeline — static estimation
+// (POST /v1/estimate), interpreter profiling with full or sparse
+// instrumentation (POST /v1/profile), the frequency-guided optimizers
+// (POST /v1/optimize), and estimator explainability (GET /v1/explain) —
+// behind a compile-once/serve-many cache: compiled units live in a
+// bounded LRU keyed by source fingerprint with singleflight
+// deduplication, so N concurrent requests for the same program trigger
+// exactly one compile.
+//
+// Robustness is part of the contract: every API request runs under a
+// panic-to-500 recovery layer, a wall-clock timeout, a request-body
+// size cap, and a bounded worker semaphore sized from the same
+// parallelism knob as the evaluation harness (eval.Parallelism). The
+// server always carries an observability domain — per-endpoint latency
+// spans, server_cache_hit / server_cache_miss / server_inflight series,
+// request and error counters — and mounts its Prometheus-style
+// exposition (/metrics) and net/http/pprof (/debug/pprof/) on the same
+// mux. Serve drains in-flight requests before returning when its
+// context is cancelled (cmd/serve wires that to SIGTERM/SIGINT).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"time"
+
+	"staticest"
+	"staticest/internal/eval"
+	"staticest/internal/obs"
+)
+
+// Config tunes one Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// CacheSize bounds the compiled-unit LRU (default 64 units).
+	CacheSize int
+	// MaxBodyBytes caps request bodies (default 4 MiB — the largest
+	// suite source is well under 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request wall-clock budget; requests
+	// exceeding it get 503 (default 60s).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds API requests doing pipeline work at once;
+	// excess requests queue on the semaphore (default
+	// eval.Parallelism(), i.e. the harness's worker-pool width).
+	MaxConcurrent int
+	// DrainTimeout bounds the graceful-shutdown drain (default 30s).
+	DrainTimeout time.Duration
+	// MaxSteps bounds each served interpreter run's block executions
+	// (default 50 million; the interpreter's own default is 200M).
+	MaxSteps int64
+	// Obs is the observability domain. The server requires one — its
+	// cache counters and /metrics exposition are part of the API — so
+	// a nil Obs means "create a private Observer", not "disable".
+	Obs *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = eval.Parallelism()
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+	return c
+}
+
+// Server serves estimation queries over compiled units.
+type Server struct {
+	cfg   Config
+	obs   *obs.Observer
+	cache *unitCache
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	hits     *obs.Counter
+	misses   *obs.Counter
+	inflight *obs.Gauge
+}
+
+// New builds a Server and its routing table.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		cache:    newUnitCache(cfg.CacheSize),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		hits:     cfg.Obs.Counter("server_cache_hit"),
+		misses:   cfg.Obs.Counter("server_cache_miss"),
+		inflight: cfg.Obs.Gauge("server_inflight"),
+	}
+
+	s.mux.Handle("POST /v1/estimate", s.api("estimate", s.handleEstimate))
+	s.mux.Handle("POST /v1/profile", s.api("profile", s.handleProfile))
+	s.mux.Handle("POST /v1/optimize", s.api("optimize", s.handleOptimize))
+	s.mux.Handle("GET /v1/explain", s.api("explain", s.handleExplain))
+
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"cached_units\":%d}\n", s.cache.len())
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.obs.WriteProm(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Observer returns the server's observability domain.
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// Handler returns the server's routing table (API endpoints, /healthz,
+// /metrics, /debug/pprof/).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle mounts an extra handler on the server's mux (the drain test
+// and embedders extending the service use it). It must be called
+// before Serve.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// httpError is an error with an HTTP status. Handlers return it to
+// pick the response code; any other error maps to 500.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func errUnprocessable(format string, args ...any) error {
+	return &httpError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
+}
+
+// apiHandler computes one endpoint's response value; the middleware in
+// api handles decoding limits, timeouts, recovery, and encoding.
+type apiHandler func(r *http.Request) (any, error)
+
+// api wraps an endpoint handler in the middleware stack, innermost
+// first: JSON encoding and error mapping, panic-to-500 recovery with
+// the inflight gauge and per-endpoint spans and counters around it,
+// the worker semaphore, and the outermost wall-clock timeout
+// (http.TimeoutHandler replies 503 and discards the late handler's
+// writes; pipeline work is bounded separately by Config.MaxSteps).
+func (s *Server) api(name string, h apiHandler) http.Handler {
+	requests := s.obs.Counter(obs.Labels("server_requests_total", "endpoint", name))
+	errorsC := s.obs.Counter(obs.Labels("server_errors_total", "endpoint", name))
+	panics := s.obs.Counter("server_panics_total")
+
+	inner := func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		sp := s.obs.StartSpan("server." + name)
+		defer sp.End()
+
+		// Bound concurrent pipeline work; queued requests still honor
+		// the client hanging up.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			errorsC.Add(1)
+			writeJSONError(w, http.StatusServiceUnavailable, "cancelled while queued")
+			return
+		}
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		v, err := func() (v any, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					panics.Add(1)
+					err = fmt.Errorf("internal error: %v\n%s", p, debug.Stack())
+				}
+			}()
+			return h(r)
+		}()
+		if err != nil {
+			errorsC.Add(1)
+			status := http.StatusInternalServerError
+			var he *httpError
+			var tooBig *http.MaxBytesError
+			switch {
+			case errors.As(err, &he):
+				status = he.status
+			case errors.As(err, &tooBig):
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSONError(w, status, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			errorsC.Add(1)
+		}
+	}
+	return http.TimeoutHandler(http.HandlerFunc(inner), s.cfg.RequestTimeout,
+		`{"error":"request timed out"}`)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// decode unmarshals the request body into v (strictly: unknown fields
+// are errors, so typos in request shapes fail loudly instead of being
+// silently ignored).
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err // mapped to 413 by api
+		}
+		return errBadRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+// compileCached resolves a source through the unit cache, bumping the
+// hit/miss counters. name labels ad-hoc sources (default "prog.c").
+func (s *Server) compileCached(name string, src []byte) (*compiled, error) {
+	if name == "" {
+		name = "prog.c"
+	}
+	key := staticest.Fingerprint(src)
+	c, missed, err := s.cache.get(key, func() (*staticest.Unit, error) {
+		return staticest.CompileObs(name, src, s.obs)
+	})
+	if missed {
+		s.misses.Add(1)
+	} else {
+		s.hits.Add(1)
+	}
+	if err != nil {
+		return nil, errUnprocessable("compile %s: %v", name, err)
+	}
+	return c, nil
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains:
+// in-flight requests get up to Config.DrainTimeout to complete before
+// the listener's goroutines are torn down. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return hs.Shutdown(dctx)
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

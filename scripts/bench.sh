@@ -11,13 +11,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=${BENCH_OUT:-BENCH_interp.json}
-filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd'}
+filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|ServeEstimate'}
 benchtime=${BENCH_TIME:-1x}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$filter" -benchtime "$benchtime" . ./internal/obs | tee "$raw" >&2
+go test -run '^$' -bench "$filter" -benchtime "$benchtime" . ./internal/obs ./internal/server | tee "$raw" >&2
 
 json=$(awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
 BEGIN {

@@ -16,6 +16,8 @@
 package staticest
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 
@@ -112,6 +114,16 @@ func CompileObs(name string, src []byte, o *obs.Observer) (*Unit, error) {
 // Observer returns the observer the unit was compiled with (nil when
 // observability is off).
 func (u *Unit) Observer() *obs.Observer { return u.obs }
+
+// Fingerprint returns the canonical identity of a source text: the hex
+// SHA-256 of its bytes. Two sources with equal fingerprints compile to
+// identical units (compilation is deterministic), so the serving layer
+// keys its compiled-unit cache on it and clients can use it to confirm
+// which source a response describes.
+func Fingerprint(src []byte) string {
+	sum := sha256.Sum256(src)
+	return hex.EncodeToString(sum[:])
+}
 
 // RunOptions configures one profiled execution.
 type RunOptions = interp.Options
