@@ -1,0 +1,42 @@
+package staticest_test
+
+import (
+	"testing"
+
+	"staticest/internal/check"
+)
+
+// TestGenerativeSuite is the CI face of the generative harness: fixed
+// seeds, a fixed program count, every oracle. Flake-free by
+// construction — the generator is deterministic, so this checks the
+// same ~200 programs on every run. The open-ended exploration (random
+// seeds, thousands of programs) lives in cmd/stress and the nightly
+// stress workflow.
+func TestGenerativeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generative suite skipped in -short mode")
+	}
+	seeds := []struct {
+		seed int64
+		n    int
+	}{
+		{1, 100},
+		{2, 50},
+		{1994, 50}, // the paper's year, for luck
+	}
+	for _, s := range seeds {
+		// The server oracle spins up HTTP listeners, so sample it; every
+		// other oracle runs on every program.
+		for _, pf := range check.RunAll(s.seed, s.n, check.Options{ServerEvery: 25}) {
+			t.Errorf("%s\nfailures:\n%s\nsource:\n%s", pf, failureList(pf), pf.Src)
+		}
+	}
+}
+
+func failureList(pf check.ProgramFailure) string {
+	out := ""
+	for _, f := range pf.Failures {
+		out += "  " + f.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package check_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"staticest"
+	"staticest/internal/check"
+	"staticest/internal/gen"
+)
+
+// TestCleanBatch is the fast in-package smoke: a seeded batch passes
+// every oracle (the larger batch lives in the repo root's
+// TestGenerativeSuite).
+func TestCleanBatch(t *testing.T) {
+	fails := check.RunAll(3, 25, check.Options{ServerEvery: 10})
+	for _, pf := range fails {
+		t.Errorf("%s\n%s", pf, pf.Src)
+	}
+}
+
+// TestShrinkSynthetic pins the reducer's contract on a synthetic
+// predicate: it keeps exactly the lines the predicate needs.
+func TestShrinkSynthetic(t *testing.T) {
+	var lines []string
+	for i := 0; i < 64; i++ {
+		lines = append(lines, fmt.Sprintf("line %d", i))
+	}
+	lines[17] = "needle A"
+	lines[49] = "needle B"
+	src := []byte(strings.Join(lines, "\n"))
+	failing := func(b []byte) bool {
+		return bytes.Contains(b, []byte("needle A")) && bytes.Contains(b, []byte("needle B"))
+	}
+	got := check.Shrink(src, failing)
+	if want := "needle A\nneedle B"; string(got) != want {
+		t.Errorf("shrink kept %q, want %q", got, want)
+	}
+	// A non-failing input comes back untouched.
+	if out := check.Shrink([]byte("nothing"), failing); string(out) != "nothing" {
+		t.Errorf("shrink mutated a passing input: %q", out)
+	}
+}
+
+// brokenLogical reports whether src, compiled and estimated with the
+// deliberately flipped `&&`/`||` heuristic, trips the invariant
+// checker on a logical-direction failure.
+func brokenLogical(name string, src []byte) bool {
+	u, err := staticest.Compile(name, src)
+	if err != nil {
+		return false
+	}
+	est := u.Estimate()
+	if !check.BreakLogical(est) {
+		return false
+	}
+	for _, f := range check.Invariants(u, est) {
+		if strings.Contains(f.Detail, "predicted") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInjectedBugCaughtAndShrunk is the acceptance criterion: a
+// deliberately flipped logical heuristic is caught by the invariant
+// checker on generated programs, and the failing program shrinks to a
+// reproducer under 30 lines.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	g := gen.New(9)
+	var src []byte
+	for i := 0; i < 200; i++ {
+		cand := g.Program()
+		if brokenLogical("inject.c", cand) {
+			src = cand
+			break
+		}
+	}
+	if src == nil {
+		t.Fatal("no generated program tripped the flipped logical heuristic in 200 tries")
+	}
+	small := check.Shrink(src, func(b []byte) bool { return brokenLogical("inject.c", b) })
+	if !brokenLogical("inject.c", small) {
+		t.Fatal("shrunk program no longer reproduces")
+	}
+	nLines := bytes.Count(bytes.TrimRight(small, "\n"), []byte("\n")) + 1
+	t.Logf("shrunk from %d to %d lines:\n%s",
+		bytes.Count(src, []byte("\n")), nLines, small)
+	if nLines >= 30 {
+		t.Errorf("reproducer is %d lines, want < 30:\n%s", nLines, small)
+	}
+}
+
+// TestCleanEstimatesPassInvariants double-checks the injected-bug test
+// proves something: the same programs pass when nothing is injected.
+func TestCleanEstimatesPassInvariants(t *testing.T) {
+	g := gen.New(9)
+	for i := 0; i < 50; i++ {
+		src := g.Program()
+		u, err := staticest.Compile("clean.c", src)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if fs := check.Invariants(u, u.Estimate()); len(fs) > 0 {
+			t.Fatalf("program %d: clean estimates fail invariants: %v\n%s", i, fs, src)
+		}
+	}
+}
+
+// TestOracleSelection pins Options.Oracles filtering and the "all"
+// alias.
+func TestOracleSelection(t *testing.T) {
+	src := gen.Source(21)
+	if fs := check.Run("sel.c", src, check.Options{Oracles: []string{"invariants"}}); len(fs) > 0 {
+		t.Errorf("invariants-only run failed: %v", fs)
+	}
+	if fs := check.Run("sel.c", src, check.Options{Oracles: []string{"all"}}); len(fs) > 0 {
+		t.Errorf("all-oracle run failed: %v", fs)
+	}
+}

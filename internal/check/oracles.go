@@ -1,0 +1,240 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+
+	"staticest"
+	"staticest/internal/gen"
+	"staticest/internal/opt"
+	"staticest/internal/server"
+)
+
+// SparseOracle runs the program under full and sparse instrumentation
+// and demands that the probe vector reconstructs the full profile
+// exactly — the paper's optimal-instrumentation claim, checked on an
+// arbitrary program instead of the 14 suite programs.
+func SparseOracle(u *staticest.Unit) []Failure {
+	full, err := u.Run(staticest.RunOptions{})
+	if err != nil {
+		return []Failure{{Oracle: "sparse", Detail: "full run: " + err.Error()}}
+	}
+	plan := u.PlanProbes()
+	sparse, err := u.Run(staticest.RunOptions{
+		Instrumentation: staticest.SparseInstrumentation,
+		Plan:            plan,
+	})
+	if err != nil {
+		return []Failure{{Oracle: "sparse", Detail: "sparse run: " + err.Error()}}
+	}
+	rec, err := staticest.Reconstruct(plan, sparse.Probes, nil)
+	if err != nil {
+		return []Failure{{Oracle: "sparse", Detail: "reconstruct: " + err.Error()}}
+	}
+	return profileDiffFailures("sparse", staticest.DiffProfiles(full.Profile, rec))
+}
+
+// InlineOracle inlines the hottest call sites under the smart estimate
+// source, reruns the transformed program, folds its profile back onto
+// the original shape, and demands exact equivalence. A program with no
+// eligible site passes vacuously.
+func InlineOracle(u *staticest.Unit) []Failure {
+	src, err := u.EstimateFreqSource("smart")
+	if err != nil {
+		return []Failure{{Oracle: "inline", Detail: "source: " + err.Error()}}
+	}
+	plan := u.PlanInline(src, 0)
+	if len(plan.Chosen) == 0 {
+		return nil
+	}
+	nu, res, err := u.Inline(plan)
+	if err != nil {
+		return []Failure{{Oracle: "inline", Detail: "apply: " + err.Error()}}
+	}
+	want, err := u.Run(staticest.RunOptions{})
+	if err != nil {
+		return []Failure{{Oracle: "inline", Detail: "original run: " + err.Error()}}
+	}
+	got, err := nu.Run(staticest.RunOptions{})
+	if err != nil {
+		return []Failure{{Oracle: "inline", Detail: "inlined run: " + err.Error()}}
+	}
+	folded := opt.FoldProfile(u.CFG, res, got.Profile)
+	return profileDiffFailures("inline", opt.CheckEquivalence(u.CFG, res, want.Profile, folded))
+}
+
+// MetamorphicOracle applies every semantics-preserving mutation the
+// generator defines and compares estimates. Exact mutations (comments,
+// renames) must leave every estimate bitwise identical; the dead-pad
+// mutation must leave every pre-existing prediction, invocation count,
+// and non-main block frequency unchanged. src must be a generated
+// program (the mutations rely on the generator's naming and PadMarker).
+func MetamorphicOracle(name string, src []byte, u *staticest.Unit, est *staticest.Estimates) []Failure {
+	var out []Failure
+	for _, m := range gen.Mutations {
+		msrc := gen.Mutate(src, m)
+		if bytes.Equal(msrc, src) {
+			// Non-generated input (no marker to pad, nothing to rename):
+			// nothing to compare.
+			continue
+		}
+		mu, err := staticest.Compile(name, msrc)
+		if err != nil {
+			out = append(out, Failure{Oracle: "metamorphic",
+				Detail: fmt.Sprintf("%v mutant does not compile: %v", m, err)})
+			continue
+		}
+		mest := mu.Estimate()
+		if m.Exact() {
+			out = append(out, compareExact(m, u, est, mest)...)
+		} else {
+			out = append(out, compareDeadPad(m, u, est, mest)...)
+		}
+	}
+	return out
+}
+
+func compareExact(m gen.Mutation, u *staticest.Unit, a, b *staticest.Estimates) []Failure {
+	var out []Failure
+	fail := func(format string, args ...any) {
+		out = append(out, Failure{Oracle: "metamorphic",
+			Detail: fmt.Sprintf("%v: ", m) + fmt.Sprintf(format, args...)})
+	}
+	if len(a.Pred.Branch) != len(b.Pred.Branch) {
+		fail("branch site count %d != %d", len(b.Pred.Branch), len(a.Pred.Branch))
+		return out
+	}
+	for i := range a.Pred.Branch {
+		if a.Pred.Branch[i] != b.Pred.Branch[i] {
+			fail("branch %d prediction changed: %+v -> %+v", i, a.Pred.Branch[i], b.Pred.Branch[i])
+		}
+	}
+	for fi := range u.CFG.Graphs {
+		name := u.CFG.Graphs[fi].Fn.Obj.Name
+		cmpSlice(fail, "loop intra "+name, a.IntraLoop[fi].BlockFreq, b.IntraLoop[fi].BlockFreq, 0)
+		cmpSlice(fail, "smart intra "+name, a.IntraSmart[fi].BlockFreq, b.IntraSmart[fi].BlockFreq, 0)
+		cmpSlice(fail, "markov intra "+name, a.IntraMarkov[fi].BlockFreq, b.IntraMarkov[fi].BlockFreq, 0)
+	}
+	cmpSlice(fail, "direct invocations", a.Inter.Direct, b.Inter.Direct, 0)
+	cmpSlice(fail, "markov invocations", a.InterMarkov.Inv, b.InterMarkov.Inv, 0)
+	cmpSlice(fail, "site freq direct", a.SiteFreqDirect, b.SiteFreqDirect, 0)
+	cmpSlice(fail, "site freq markov", a.SiteFreqMarkov, b.SiteFreqMarkov, 0)
+	return out
+}
+
+// compareDeadPad checks the stable subset: the pad adds one branch site
+// (sorted after all pre-existing ones) and new blocks in main only.
+func compareDeadPad(m gen.Mutation, u *staticest.Unit, a, b *staticest.Estimates) []Failure {
+	var out []Failure
+	fail := func(format string, args ...any) {
+		out = append(out, Failure{Oracle: "metamorphic",
+			Detail: fmt.Sprintf("%v: ", m) + fmt.Sprintf(format, args...)})
+	}
+	if len(b.Pred.Branch) != len(a.Pred.Branch)+1 {
+		fail("expected exactly one new branch site, got %d -> %d",
+			len(a.Pred.Branch), len(b.Pred.Branch))
+		return out
+	}
+	for i := range a.Pred.Branch {
+		if a.Pred.Branch[i] != b.Pred.Branch[i] {
+			fail("pre-existing branch %d changed: %+v -> %+v", i, a.Pred.Branch[i], b.Pred.Branch[i])
+		}
+	}
+	pad := b.Pred.Branch[len(a.Pred.Branch)]
+	if pad.Heuristic != "const" || pad.ConstTrue {
+		fail("pad branch predicted %+v, want folded-false const", pad)
+	}
+	mainIdx := -1
+	if u.Sem.Main != nil {
+		mainIdx = u.Sem.Main.Obj.FuncIndex
+	}
+	for fi := range u.CFG.Graphs {
+		if fi == mainIdx {
+			continue // main gains blocks; its layout legitimately changes
+		}
+		name := u.CFG.Graphs[fi].Fn.Obj.Name
+		cmpSlice(fail, "smart intra "+name, a.IntraSmart[fi].BlockFreq, b.IntraSmart[fi].BlockFreq, probEps)
+		cmpSlice(fail, "markov intra "+name, a.IntraMarkov[fi].BlockFreq, b.IntraMarkov[fi].BlockFreq, probEps)
+	}
+	cmpSlice(fail, "direct invocations", a.Inter.Direct, b.Inter.Direct, probEps)
+	cmpSlice(fail, "markov invocations", a.InterMarkov.Inv, b.InterMarkov.Inv, probEps)
+	cmpSlice(fail, "site freq direct", a.SiteFreqDirect, b.SiteFreqDirect, probEps)
+	cmpSlice(fail, "site freq markov", a.SiteFreqMarkov, b.SiteFreqMarkov, probEps)
+	return out
+}
+
+func cmpSlice(fail func(string, ...any), what string, a, b []float64, eps float64) {
+	if len(a) != len(b) {
+		fail("%s: length %d != %d", what, len(b), len(a))
+		return
+	}
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > eps*(1+math.Abs(a[i])) || (eps == 0 && a[i] != b[i]) {
+			fail("%s: entry %d changed %v -> %v", what, i, a[i], b[i])
+			return
+		}
+	}
+}
+
+// ServerOracle posts the source to an in-process estimation service —
+// twice to one instance (cold, then cached) and once to a fresh
+// instance — and demands all three bodies be byte-identical and agree
+// with the direct library computation on the fingerprint.
+func ServerOracle(name string, src []byte) []Failure {
+	var out []Failure
+	fail := func(format string, args ...any) {
+		out = append(out, Failure{Oracle: "server", Detail: fmt.Sprintf(format, args...)})
+	}
+	body, err := json.Marshal(struct {
+		Name   string `json:"name"`
+		Source string `json:"source"`
+	}{Name: name, Source: string(src)})
+	if err != nil {
+		fail("marshal request: %v", err)
+		return out
+	}
+	post := func(ts *httptest.Server) []byte {
+		resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail("POST: %v", err)
+			return nil
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			fail("status %d: %s", resp.StatusCode, b)
+			return nil
+		}
+		return b
+	}
+	ts1 := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts1.Close()
+	cold := post(ts1)
+	warm := post(ts1)
+	ts2 := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts2.Close()
+	fresh := post(ts2)
+	if cold == nil || warm == nil || fresh == nil {
+		return out
+	}
+	if !bytes.Equal(cold, warm) {
+		fail("cached response differs from cold response")
+	}
+	if !bytes.Equal(cold, fresh) {
+		fail("second instance differs from first")
+	}
+	var er server.EstimateResponse
+	if err := json.Unmarshal(cold, &er); err != nil {
+		fail("unmarshal response: %v", err)
+		return out
+	}
+	if want := staticest.Fingerprint(src); er.Fingerprint != want {
+		fail("fingerprint %s != library %s", er.Fingerprint, want)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package check
+
+import "bytes"
+
+// Shrink greedily reduces a failing program to a smaller one that still
+// fails. failing must return true when the candidate source reproduces
+// the original failure (candidates that no longer compile simply return
+// false and are rejected). The reduction removes contiguous line chunks
+// — halves first, then quarters, down to single lines — and restarts
+// whenever a removal sticks, so the result is 1-minimal with respect to
+// line deletion (ddmin over lines).
+func Shrink(src []byte, failing func([]byte) bool) []byte {
+	if !failing(src) {
+		return src // not failing to begin with; nothing to do
+	}
+	lines := splitLines(src)
+	chunk := len(lines) / 2
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start+chunk <= len(lines); {
+			cand := joinWithout(lines, start, chunk)
+			if failing(cand) {
+				lines = append(lines[:start:start], lines[start+chunk:]...)
+				removedAny = true
+				// Do not advance: the next chunk slid into place.
+			} else {
+				start++
+			}
+		}
+		if !removedAny || chunk == 1 {
+			if chunk == 1 && !removedAny {
+				break
+			}
+			chunk /= 2
+			if chunk == 0 {
+				chunk = 1
+			}
+			continue
+		}
+		// Progress at this granularity: try the same size again on the
+		// smaller program before refining.
+		if chunk > len(lines) {
+			chunk = len(lines) / 2
+		}
+	}
+	return bytes.Join(lines, []byte("\n"))
+}
+
+func splitLines(src []byte) [][]byte {
+	return bytes.Split(bytes.TrimRight(src, "\n"), []byte("\n"))
+}
+
+func joinWithout(lines [][]byte, start, n int) []byte {
+	keep := make([][]byte, 0, len(lines)-n)
+	keep = append(keep, lines[:start]...)
+	keep = append(keep, lines[start+n:]...)
+	return bytes.Join(keep, []byte("\n"))
+}

@@ -7,9 +7,12 @@ import (
 
 	"staticest/internal/clex"
 	"staticest/internal/ctoken"
+	"staticest/internal/gen"
 )
 
-// seedCorpus loads the C-subset programs under examples/corpus as fuzz seeds.
+// seedCorpus loads the C-subset programs under examples/corpus as fuzz
+// seeds, plus a few generated programs — richer control flow than any
+// of the hand-written examples.
 func seedCorpus(f *testing.F) {
 	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "corpus", "*.c"))
 	if err != nil {
@@ -24,6 +27,10 @@ func seedCorpus(f *testing.F) {
 			f.Fatalf("read %s: %v", p, err)
 		}
 		f.Add(src)
+	}
+	g := gen.New(1)
+	for i := 0; i < 4; i++ {
+		f.Add(g.Program())
 	}
 }
 

@@ -26,6 +26,23 @@ func CheckEnum(flagName, got string, valid ...string) error {
 		flagName, strings.Join(valid, ", "), got)
 }
 
+// CheckEnums validates a comma-separated enum-valued flag (e.g.
+// -oracles invariants,sparse): every element must be one of valid.
+// Empty elements (stray commas) are usage errors too. It returns the
+// split elements on success.
+func CheckEnums(flagName, got string, valid ...string) ([]string, error) {
+	if got == "" {
+		return nil, nil
+	}
+	parts := strings.Split(got, ",")
+	for _, p := range parts {
+		if err := CheckEnum(flagName, p, valid...); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
 // Observability builds the observer a command's -trace/-metrics flags
 // ask for. trace selects the JSONL event destination: "" for none, "-"
 // for stderr, anything else a file path (truncated). When both trace

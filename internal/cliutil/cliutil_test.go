@@ -22,6 +22,54 @@ func TestCheckEnum(t *testing.T) {
 	}
 }
 
+func TestCheckEnums(t *testing.T) {
+	valid := []string{"invariants", "sparse", "inline", "metamorphic", "server", "all"}
+	cases := []struct {
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"all", []string{"all"}, false},
+		{"invariants,sparse", []string{"invariants", "sparse"}, false},
+		{"invariants,sparse,inline,metamorphic,server",
+			[]string{"invariants", "sparse", "inline", "metamorphic", "server"}, false},
+		{"invariants,", nil, true},        // trailing comma = empty element
+		{",sparse", nil, true},            // leading comma
+		{"invariants, sparse", nil, true}, // stray space is not a valid value
+		{"bogus", nil, true},
+		{"sparse,bogus", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := CheckEnums("oracles", tc.in, valid...)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("CheckEnums(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("CheckEnums(%q): %v", tc.in, err)
+			continue
+		}
+		if !equalStrings(got, tc.want) {
+			t.Errorf("CheckEnums(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestObservabilityDisabled(t *testing.T) {
 	o, closeFn, err := Observability("", false)
 	if err != nil {

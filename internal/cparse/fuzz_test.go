@@ -6,10 +6,13 @@ import (
 	"testing"
 
 	"staticest/internal/cparse"
+	"staticest/internal/gen"
 )
 
 // FuzzParse checks that the parser never panics: every input must yield
-// either a *cast.File or an error, never a crash.
+// either a *cast.File or an error, never a crash. Seeds are the example
+// corpus plus generated programs (loops, switches, recursion — shapes
+// the hand-written seeds barely touch).
 func FuzzParse(f *testing.F) {
 	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "corpus", "*.c"))
 	if err != nil {
@@ -24,6 +27,10 @@ func FuzzParse(f *testing.F) {
 			f.Fatalf("read %s: %v", p, err)
 		}
 		f.Add(src)
+	}
+	g := gen.New(1)
+	for i := 0; i < 4; i++ {
+		f.Add(g.Program())
 	}
 	f.Add([]byte("typedef int T; T f(T t) { return t; }"))
 	f.Add([]byte("int f() { for(;;) break; }"))

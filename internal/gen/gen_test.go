@@ -1,0 +1,117 @@
+package gen_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"staticest"
+	"staticest/internal/gen"
+)
+
+// TestDeterministic pins the generator's core contract: the i-th
+// program of two same-seed generators is byte-identical, and different
+// seeds diverge.
+func TestDeterministic(t *testing.T) {
+	const n = 50
+	a, b := gen.New(7), gen.New(7)
+	for i := 0; i < n; i++ {
+		pa, pb := a.Program(), b.Program()
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("program %d differs between same-seed generators", i)
+		}
+	}
+	if bytes.Equal(gen.Source(1), gen.Source(2)) {
+		t.Fatal("seeds 1 and 2 produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsCompileAndTerminate runs a few hundred generated
+// programs through the full pipeline: they must parse, type-check,
+// build CFGs, and terminate under the interpreter within the work
+// budget the generator promises.
+func TestGeneratedProgramsCompileAndTerminate(t *testing.T) {
+	const n = 300
+	const stepCap = 5_000_000
+	g := gen.New(42)
+	var maxSteps int64
+	for i := 0; i < n; i++ {
+		src := g.Program()
+		u, err := staticest.Compile(fmt.Sprintf("gen42_%d.c", i), src)
+		if err != nil {
+			t.Fatalf("program %d does not compile: %v\n%s", i, err, src)
+		}
+		res, err := u.Run(staticest.RunOptions{MaxSteps: stepCap})
+		if err != nil {
+			t.Fatalf("program %d does not run: %v\n%s", i, err, src)
+		}
+		if res.Steps > maxSteps {
+			maxSteps = res.Steps
+		}
+	}
+	t.Logf("max steps over %d programs: %d", n, maxSteps)
+	if maxSteps >= stepCap {
+		t.Fatalf("a program hit the %d step cap: work budget broken", stepCap)
+	}
+}
+
+// TestMutationsPreserveBehavior pins that every metamorphic mutation
+// yields a program that still compiles and produces the same output and
+// exit code as the original.
+func TestMutationsPreserveBehavior(t *testing.T) {
+	const n = 60
+	g := gen.New(5)
+	for i := 0; i < n; i++ {
+		src := g.Program()
+		u, err := staticest.Compile(fmt.Sprintf("gen5_%d.c", i), src)
+		if err != nil {
+			t.Fatalf("program %d does not compile: %v", i, err)
+		}
+		want, err := u.Run(staticest.RunOptions{})
+		if err != nil {
+			t.Fatalf("program %d does not run: %v", i, err)
+		}
+		for _, m := range gen.Mutations {
+			msrc := gen.Mutate(src, m)
+			if bytes.Equal(msrc, src) {
+				t.Fatalf("program %d: mutation %v is a no-op", i, m)
+			}
+			mu, err := staticest.Compile(fmt.Sprintf("gen5_%d_%v.c", i, m), msrc)
+			if err != nil {
+				t.Fatalf("program %d mutation %v does not compile: %v\n%s", i, m, err, msrc)
+			}
+			got, err := mu.Run(staticest.RunOptions{})
+			if err != nil {
+				t.Fatalf("program %d mutation %v does not run: %v", i, m, err)
+			}
+			if got.ExitCode != want.ExitCode || !bytes.Equal(got.Output, want.Output) {
+				t.Fatalf("program %d mutation %v changed behavior:\nexit %d vs %d\nout %q vs %q",
+					i, m, got.ExitCode, want.ExitCode, got.Output, want.Output)
+			}
+		}
+	}
+}
+
+// TestHeuristicCoverage checks the grammar bias actually pays off:
+// across a modest batch, every branch heuristic the smart predictor
+// implements fires at least once.
+func TestHeuristicCoverage(t *testing.T) {
+	const n = 80
+	seen := map[string]int{}
+	g := gen.New(11)
+	for i := 0; i < n; i++ {
+		src := g.Program()
+		u, err := staticest.Compile(fmt.Sprintf("gen11_%d.c", i), src)
+		if err != nil {
+			t.Fatalf("program %d does not compile: %v\n%s", i, err, src)
+		}
+		for _, pred := range u.Estimate().Pred.Branch {
+			seen[pred.Heuristic]++
+		}
+	}
+	for _, h := range []string{"const", "loop", "pointer", "call", "opcode", "logical", "return"} {
+		if seen[h] == 0 {
+			t.Errorf("heuristic %q never fired over %d programs (seen: %v)", h, n, seen)
+		}
+	}
+}

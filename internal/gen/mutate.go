@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+)
+
+// Mutation names a semantics-preserving source transformation used for
+// metamorphic testing: the mutated program computes the same thing, so
+// the estimators must not change their mind about the code that was
+// already there.
+type Mutation int
+
+const (
+	// MutComments interleaves comments, blank lines, and trailing
+	// whitespace. The token stream is untouched, so every estimate must
+	// be byte-for-byte identical.
+	MutComments Mutation = iota
+	// MutRename prefixes every generator-chosen identifier. Heuristics
+	// key on AST shape, never on spelling, so estimates must be
+	// identical.
+	MutRename
+	// MutDeadPad replaces the PadMarker comment in main with a
+	// constant-false branch. The const heuristic folds it, so all
+	// pre-existing predictions, invocation counts, and non-main block
+	// frequencies must be unchanged (main gains blocks, and the new
+	// site IDs sort after all pre-existing ones).
+	MutDeadPad
+)
+
+// Mutations lists every defined mutation.
+var Mutations = []Mutation{MutComments, MutRename, MutDeadPad}
+
+func (m Mutation) String() string {
+	switch m {
+	case MutComments:
+		return "comments"
+	case MutRename:
+		return "rename"
+	case MutDeadPad:
+		return "deadpad"
+	}
+	return fmt.Sprintf("Mutation(%d)", int(m))
+}
+
+// Exact reports whether the mutation leaves the program's AST (and so
+// every estimate) completely unchanged. MutDeadPad adds blocks to main,
+// so only the pre-existing slice of each estimate is preserved.
+func (m Mutation) Exact() bool { return m != MutDeadPad }
+
+// genIdent matches exactly the identifiers the generator invents
+// (globals g#, arrays arr#, locals v#, pointers p#, counters i#,
+// helpers f#, params a#, the recursion depth n#, rec#/die# helpers, and
+// main's accumulator). The generator's only string literals ("bail
+// %d\n", "%d %d\n") contain none of these, so a plain text substitution
+// is safe.
+var genIdent = regexp.MustCompile(`\b(?:acc|(?:arr|rec|die|[gvipfan])[0-9]+)\b`)
+
+// Mutate applies m to a generated program. The input must come from
+// this package's Generator: the transformations rely on its naming
+// scheme and on the PadMarker comment.
+func Mutate(src []byte, m Mutation) []byte {
+	switch m {
+	case MutComments:
+		return mutateComments(src)
+	case MutRename:
+		return genIdent.ReplaceAll(src, []byte("mx_$0"))
+	case MutDeadPad:
+		pad := []byte("if (0) { acc = acc + 1; }")
+		return bytes.Replace(src, []byte(PadMarker), pad, 1)
+	}
+	return src
+}
+
+func mutateComments(src []byte) []byte {
+	lines := bytes.Split(src, []byte("\n"))
+	var out bytes.Buffer
+	for i, ln := range lines {
+		out.Write(ln)
+		if n := len(ln); n > 0 && (ln[n-1] == ';' || ln[n-1] == '{') {
+			fmt.Fprintf(&out, " /* m%d */", i)
+			if i%3 == 0 {
+				out.WriteString("\n   ")
+			}
+		}
+		if i < len(lines)-1 {
+			out.WriteByte('\n')
+		}
+		if i%5 == 2 {
+			out.WriteString("\n")
+		}
+	}
+	return out.Bytes()
+}

@@ -1,0 +1,146 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"staticest"
+	"staticest/internal/opt"
+)
+
+func compileT(t *testing.T, src string) *staticest.Unit {
+	t.Helper()
+	u, err := staticest.Compile("edge.c", []byte(src))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return u
+}
+
+func smartSource(t *testing.T, u *staticest.Unit) *staticest.FreqSource {
+	t.Helper()
+	src, err := u.EstimateFreqSource("smart")
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	return src
+}
+
+// TestInlineBudgetDefault pins that a zero or negative budget selects
+// DefaultBudget rather than planning nothing (or everything).
+func TestInlineBudgetDefault(t *testing.T) {
+	u := compileT(t, `
+int add(int a, int b) { return a + b; }
+int main(void) { int x; x = add(1, 2); return x; }
+`)
+	src := smartSource(t, u)
+	for _, budget := range []int{0, -1, -100} {
+		plan := u.PlanInline(src, budget)
+		if plan.Budget != opt.DefaultBudget {
+			t.Errorf("budget %d: plan.Budget = %d, want DefaultBudget %d",
+				budget, plan.Budget, opt.DefaultBudget)
+		}
+		if len(plan.Chosen) != 1 {
+			t.Errorf("budget %d: chose %d sites, want 1", budget, len(plan.Chosen))
+		}
+	}
+}
+
+// TestInlineNeverSelf pins that self-recursive (and mutually recursive)
+// call sites are never eligible, whatever the budget: splicing a
+// function into itself would never terminate.
+func TestInlineNeverSelf(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"direct recursion", `
+int fac(int n) { int r; if (n <= 1) { return 1; } r = fac(n - 1); return n * r; }
+int main(void) { int x; x = fac(5); return x & 7; }
+`},
+		{"mutual recursion", `
+int odd(int n);
+int even(int n) { int r; if (n == 0) { return 1; } r = odd(n - 1); return r; }
+int odd(int n) { int r; if (n == 0) { return 0; } r = even(n - 1); return r; }
+int main(void) { int x; x = even(4); return x; }
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := compileT(t, tc.src)
+			plan := u.PlanInline(smartSource(t, u), 1_000_000)
+			for _, site := range plan.Eligible {
+				if site.Caller == site.Callee {
+					t.Errorf("self-recursive site %d (func %d) is eligible", site.Site, site.Caller)
+				}
+			}
+			for _, d := range plan.Chosen {
+				callee := u.CFG.Graphs[d.Callee].Fn.Obj.Name
+				if callee != "" && strings.Contains(tc.src, callee+"(") && d.Caller == d.Callee {
+					t.Errorf("chose self-inline of %s", callee)
+				}
+			}
+			// Recursive SCC members must not be chosen at all.
+			if len(plan.Chosen) != 0 {
+				t.Errorf("chose %d sites in a fully recursive program, want 0", len(plan.Chosen))
+			}
+		})
+	}
+}
+
+// TestInlineSingleBlockCallee pins the smallest possible splice: a
+// one-block callee inlines, runs, and folds back to the exact original
+// profile.
+func TestInlineSingleBlockCallee(t *testing.T) {
+	u := compileT(t, `
+int seven(void) { return 7; }
+int main(void) { int x; x = seven(); return x & 3; }
+`)
+	plan := u.PlanInline(smartSource(t, u), 0)
+	if len(plan.Chosen) != 1 {
+		t.Fatalf("chose %d sites, want the single call to seven()", len(plan.Chosen))
+	}
+	if cost := plan.Chosen[0].Cost; cost != 1 {
+		t.Errorf("one-block callee has cost %d, want 1", cost)
+	}
+	nu, res, err := u.Inline(plan)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	want, err := u.Run(staticest.RunOptions{})
+	if err != nil {
+		t.Fatalf("original run: %v", err)
+	}
+	got, err := nu.Run(staticest.RunOptions{})
+	if err != nil {
+		t.Fatalf("inlined run: %v", err)
+	}
+	if got.ExitCode != want.ExitCode {
+		t.Errorf("exit code %d != %d", got.ExitCode, want.ExitCode)
+	}
+	folded := opt.FoldProfile(u.CFG, res, got.Profile)
+	if bad := opt.CheckEquivalence(u.CFG, res, want.Profile, folded); len(bad) > 0 {
+		t.Errorf("profile not equivalent:\n  %s", strings.Join(bad, "\n  "))
+	}
+}
+
+// TestLayoutSingleBlockNoop pins that block layout on one-block
+// functions is the identity: nothing to chain, nothing to reorder.
+func TestLayoutSingleBlockNoop(t *testing.T) {
+	u := compileT(t, `
+int one(void) { return 1; }
+int two(void) { return 2; }
+int main(void) { return one() + two(); }
+`)
+	lay := opt.ComputeLayout(u.CFG, smartSource(t, u), nil)
+	source := opt.SourceOrderLayout(u.CFG)
+	for fi, g := range u.CFG.Graphs {
+		if len(g.Blocks) != 1 {
+			continue
+		}
+		if len(lay.Order[fi]) != 1 || lay.Order[fi][0] != source.Order[fi][0] {
+			t.Errorf("func %s: 1-block layout %v differs from source order %v",
+				g.Fn.Obj.Name, lay.Order[fi], source.Order[fi])
+		}
+	}
+}
