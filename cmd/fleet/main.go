@@ -1,0 +1,294 @@
+// Command fleet simulates a fleet of instrumented deployments closing
+// the PGO loop against a running serve instance: it compiles one
+// benchmark-suite program locally, produces the sparse probe vector for
+// each of the program's inputs, and uploads those vectors — cycling
+// through the inputs — from N concurrent members to
+// POST /v1/profiles/ingest, optionally throttled to a target rate.
+//
+// At log-spaced checkpoints it queries GET /v1/profiles/stats with
+// agreement rows and prints how each estimate source's decision
+// agreement against the server's live aggregate converges toward the
+// offline eval.OptReport values (the cross-input numbers the eval
+// harness computes from full-instrumentation profiles). Once the fleet
+// has covered every input, the live ranking metrics should match the
+// offline ones; -tol turns that into an exit status for CI soaks.
+//
+// Members that get shed (429) honor Retry-After and retry, so the
+// driver doubles as a smoke test of the server's load-shed path.
+//
+// Usage:
+//
+//	fleet -addr localhost:8080 -n 200
+//	fleet -addr localhost:8080 -program eqntott -n 500 -j 16 -rate 100
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"staticest"
+	"staticest/internal/eval"
+	"staticest/internal/probes"
+	"staticest/internal/server"
+	"staticest/internal/suite"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "serve instance to upload to")
+	program := flag.String("program", "compress", "benchmark-suite program the fleet runs")
+	n := flag.Int("n", 200, "total uploads")
+	jobs := flag.Int("j", 8, "concurrent fleet members")
+	rate := flag.Float64("rate", 0, "target uploads per second (0 = unthrottled)")
+	tol := flag.Float64("tol", 0.1, "max allowed final |live - offline| agreement delta (negative = report only)")
+	flag.Parse()
+	if flag.NArg() > 0 || *n < 1 || *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "usage: fleet [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *program, *n, *jobs, *rate, *tol); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, program string, n, jobs int, rate, tol float64) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	p, err := suite.ByName(program)
+	if err != nil {
+		return err
+	}
+	u, err := p.CompileCached()
+	if err != nil {
+		return err
+	}
+	fp := staticest.Fingerprint([]byte(p.Source))
+	plan := u.PlanProbes()
+
+	// Each fleet member re-runs one of the program's inputs under sparse
+	// instrumentation; precompute the vector per input once.
+	vectors := make([]*probes.Vector, len(p.Inputs))
+	for i, in := range p.Inputs {
+		res, err := u.Run(staticest.RunOptions{
+			Args:            in.Args,
+			Stdin:           in.Stdin,
+			Instrumentation: staticest.SparseInstrumentation,
+			Plan:            plan,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s: sparse run: %v", p.Name, in.Name, err)
+		}
+		vectors[i] = res.Probes
+	}
+
+	// The offline reference: the eval harness's agreement rows from
+	// full-instrumentation profiles of every input.
+	d, err := eval.Load(p)
+	if err != nil {
+		return err
+	}
+	rows, err := eval.OptProgram(d)
+	if err != nil {
+		return err
+	}
+	offline := map[string]eval.OptRow{}
+	for _, row := range rows {
+		offline[row.Source] = row
+	}
+
+	fmt.Printf("fleet: program=%s fp=%.12s inputs=%d probes=%d uploads=%d workers=%d rate=%s\n",
+		p.Name, fp, len(p.Inputs), plan.NumProbes, n, jobs, rateString(rate))
+
+	// First contact ships the program reference so the server registers
+	// the unit; everyone after uploads against the bare fingerprint.
+	f := &fleet{base: base, fp: fp, program: p.Name, inputs: p.Inputs, vectors: vectors}
+	if err := f.upload(0, true); err != nil {
+		return fmt.Errorf("registering upload: %v", err)
+	}
+
+	var ticker *time.Ticker
+	if rate > 0 {
+		ticker = time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer ticker.Stop()
+	}
+
+	fmt.Printf("%8s  %-8s %22s %22s %10s\n",
+		"uploads", "source", "inline_top10 live/off", "spill_tau live/off", "max|Δ|")
+	var maxDelta float64
+	done := 1
+	for _, stop := range checkpoints(n) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var uploadErr error
+		next := make(chan int)
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if ticker != nil {
+						<-ticker.C
+					}
+					if err := f.upload(i, false); err != nil {
+						mu.Lock()
+						if uploadErr == nil {
+							uploadErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for ; done < stop; done++ {
+			next <- done
+		}
+		close(next)
+		wg.Wait()
+		if uploadErr != nil {
+			return uploadErr
+		}
+
+		delta, err := f.report(done, offline)
+		if err != nil {
+			return err
+		}
+		maxDelta = delta
+	}
+
+	fmt.Printf("fleet: %d uploads done; final max agreement delta %.3f\n", done, maxDelta)
+	if tol >= 0 && maxDelta > tol {
+		return fmt.Errorf("final agreement delta %.3f exceeds tolerance %.3f — live aggregate did not converge", maxDelta, tol)
+	}
+	return nil
+}
+
+type fleet struct {
+	base    string
+	fp      string
+	program string
+	inputs  []suite.Input
+	vectors []*probes.Vector
+}
+
+// upload ships vector i%len(inputs) as member i. withSource registers
+// the unit on first contact. Shed uploads (429) retry after the
+// server's Retry-After hint.
+func (f *fleet) upload(i int, withSource bool) error {
+	vec := f.vectors[i%len(f.vectors)]
+	req := server.IngestRequest{
+		Fingerprint: f.fp,
+		UploadID:    fmt.Sprintf("fleet-%05d", i),
+		Label:       f.inputs[i%len(f.inputs)].Name,
+		Counts:      vec.Counts,
+	}
+	for _, e := range vec.Escapes {
+		req.Escapes = append(req.Escapes, server.IngestEscape{Func: e.Func, Block: e.Block})
+	}
+	if withSource {
+		req.Program = f.program
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(f.base+"/v1/profiles/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < 10:
+			wait := time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := time.ParseDuration(ra + "s"); err == nil {
+					wait = secs
+				}
+			}
+			time.Sleep(wait)
+		default:
+			return fmt.Errorf("upload %d: status %d: %s", i, resp.StatusCode, out)
+		}
+	}
+}
+
+// report queries the live agreement rows and prints each source next to
+// its offline value, returning the worst |live - offline| over the
+// inline-overlap and spill-tau columns.
+func (f *fleet) report(uploads int, offline map[string]eval.OptRow) (float64, error) {
+	resp, err := http.Get(f.base + "/v1/profiles/stats?fingerprint=" + f.fp + "&agreement=1")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("stats: status %d: %s", resp.StatusCode, body)
+	}
+	var sr server.StatsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return 0, err
+	}
+	if len(sr.Units) != 1 {
+		return 0, fmt.Errorf("stats returned %d units, want 1", len(sr.Units))
+	}
+
+	rows := append([]server.AgreementRow(nil), sr.Units[0].Agreement...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Source < rows[j].Source })
+	var maxDelta float64
+	for _, row := range rows {
+		off, ok := offline[row.Source]
+		if !ok {
+			continue
+		}
+		dOverlap := math.Abs(row.InlineOverlap - off.InlineOverlap)
+		dSpill := math.Abs(row.SpillTau - off.SpillTau)
+		maxDelta = math.Max(maxDelta, math.Max(dOverlap, dSpill))
+		fmt.Printf("%8d  %-8s %10.3f /%9.3f %10.3f /%9.3f %10.3f\n",
+			uploads, row.Source, row.InlineOverlap, off.InlineOverlap,
+			row.SpillTau, off.SpillTau, math.Max(dOverlap, dSpill))
+	}
+	return maxDelta, nil
+}
+
+// checkpoints returns log-spaced upload counts ending at n.
+func checkpoints(n int) []int {
+	var out []int
+	for _, c := range []int{2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000} {
+		if c < n {
+			out = append(out, c)
+		}
+	}
+	return append(out, n)
+}
+
+func rateString(rate float64) string {
+	if rate <= 0 {
+		return "unthrottled"
+	}
+	return fmt.Sprintf("%g/s", rate)
+}

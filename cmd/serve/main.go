@@ -1,18 +1,29 @@
 // Command serve runs the estimation service: a long-lived HTTP/JSON
 // daemon answering estimation, profiling, optimization, and
 // explainability queries over a compiled-unit cache (see
-// internal/server). The full pipeline sits behind four endpoints:
+// internal/server). The full pipeline sits behind six endpoints:
 //
-//	POST /v1/estimate   static block/invocation/call-site estimates
-//	POST /v1/profile    interpreter run, full or sparse instrumentation
-//	POST /v1/optimize   inline plan / layout / spill reports
-//	GET  /v1/explain    per-heuristic attribution vs a measured profile
+//	POST /v1/estimate          static block/invocation/call-site estimates
+//	POST /v1/profile           interpreter run, full or sparse instrumentation
+//	POST /v1/optimize          inline plan / layout / spill reports
+//	GET  /v1/explain           per-heuristic attribution vs a measured profile
+//	POST /v1/profiles/ingest   fleet upload of one sparse probe vector
+//	GET  /v1/profiles/stats    live per-unit aggregates (+ agreement rows)
 //
 // plus /healthz, /metrics (Prometheus text exposition), and
 // /debug/pprof/. Requests name a benchmark-suite program or ship C
 // source inline; identical sources share one cached compilation
 // (singleflight), so a hot source is compiled exactly once no matter
 // how many clients ask.
+//
+// Ingested uploads close the PGO loop (see internal/ingest): they merge
+// into live per-unit aggregates, and /v1/optimize with
+// "freq_source":"live" plans from the fleet's measured frequencies,
+// falling back to the smart static estimate for cold fingerprints.
+//
+// When every worker slot is busy, a request waits at most -queue-wait
+// before being shed with 429 + Retry-After, so saturation degrades into
+// fast, explicit backpressure instead of unbounded queueing.
 //
 // SIGTERM or SIGINT starts a graceful drain: in-flight requests finish
 // (bounded by -drain) before the process exits.
@@ -23,6 +34,7 @@
 //	serve -addr :8080 -cache 128 -timeout 30s -j 4 -trace events.jsonl
 //
 //	curl -s localhost:8080/v1/estimate -d '{"program":"compress"}'
+//	curl -s localhost:8080/v1/profiles/stats
 package main
 
 import (
@@ -46,6 +58,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	maxBody := flag.Int64("max-body", 4<<20, "request body size cap in bytes")
 	maxSteps := flag.Int64("max-steps", 50_000_000, "block-execution budget per served run")
+	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "max wait for a worker slot before shedding with 429")
 	jobs := flag.Int("j", 0, "concurrent pipeline requests (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
 	flag.Parse()
@@ -81,6 +94,7 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		MaxSteps:       *maxSteps,
+		QueueWait:      *queueWait,
 		Obs:            o,
 	})
 

@@ -3,6 +3,7 @@ package check
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -11,7 +12,9 @@ import (
 
 	"staticest"
 	"staticest/internal/gen"
+	"staticest/internal/ingest"
 	"staticest/internal/opt"
+	"staticest/internal/profile"
 	"staticest/internal/server"
 )
 
@@ -37,6 +40,57 @@ func SparseOracle(u *staticest.Unit) []Failure {
 		return []Failure{{Oracle: "sparse", Detail: "reconstruct: " + err.Error()}}
 	}
 	return profileDiffFailures("sparse", staticest.DiffProfiles(full.Profile, rec))
+}
+
+// IngestOracle pushes the program through the online-aggregation
+// pipeline and demands it agree with the offline one exactly: three
+// sparse uploads through an ingest.Store must snapshot to byte-for-byte
+// the profile.Aggregate of the same three reconstructed profiles. It
+// also demands a replayed upload ID be rejected without touching the
+// aggregate.
+func IngestOracle(u *staticest.Unit) []Failure {
+	plan := u.PlanProbes()
+	sparse, err := u.Run(staticest.RunOptions{
+		Instrumentation: staticest.SparseInstrumentation,
+		Plan:            plan,
+	})
+	if err != nil {
+		return []Failure{{Oracle: "ingest", Detail: "sparse run: " + err.Error()}}
+	}
+	rec, err := staticest.Reconstruct(plan, sparse.Probes, nil)
+	if err != nil {
+		return []Failure{{Oracle: "ingest", Detail: "reconstruct: " + err.Error()}}
+	}
+
+	const fp = "oracle-unit"
+	st := ingest.NewStore(nil)
+	st.Register(fp, u.Name, plan)
+	var offline []*profile.Profile
+	for i := 1; i <= 3; i++ {
+		label := fmt.Sprintf("run%d", i)
+		if _, err := st.Ingest(fp, ingest.Upload{ID: label, Label: label, Vector: sparse.Probes}); err != nil {
+			return []Failure{{Oracle: "ingest", Detail: "upload " + label + ": " + err.Error()}}
+		}
+		q := rec.Clone()
+		q.Label = label
+		offline = append(offline, q)
+	}
+	if _, err := st.Ingest(fp, ingest.Upload{ID: "run1", Label: "replay", Vector: sparse.Probes}); !errors.Is(err, ingest.ErrDuplicate) {
+		return []Failure{{Oracle: "ingest", Detail: fmt.Sprintf("replayed upload ID: err = %v, want ErrDuplicate", err)}}
+	}
+
+	snap, ok := st.Snapshot(fp)
+	if !ok {
+		return []Failure{{Oracle: "ingest", Detail: "no snapshot after three uploads"}}
+	}
+	if snap.Uploads != 3 {
+		return []Failure{{Oracle: "ingest", Detail: fmt.Sprintf("uploads = %d, want 3", snap.Uploads)}}
+	}
+	want, err := profile.Aggregate(offline)
+	if err != nil {
+		return []Failure{{Oracle: "ingest", Detail: "offline aggregate: " + err.Error()}}
+	}
+	return profileDiffFailures("ingest", staticest.DiffProfiles(want, snap.Profile))
 }
 
 // InlineOracle inlines the hottest call sites under the smart estimate

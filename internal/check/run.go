@@ -8,7 +8,7 @@ import (
 )
 
 // Oracles names every check Run knows, in execution order.
-var Oracles = []string{"invariants", "sparse", "inline", "metamorphic", "server"}
+var Oracles = []string{"invariants", "sparse", "inline", "metamorphic", "ingest", "server"}
 
 // Options selects which oracles Run executes.
 type Options struct {
@@ -68,6 +68,9 @@ func Run(name string, src []byte, opt Options) []Failure {
 	}
 	if opt.wants("metamorphic") {
 		out = append(out, MetamorphicOracle(name, src, u, est)...)
+	}
+	if opt.wants("ingest") {
+		out = append(out, IngestOracle(u)...)
 	}
 	if opt.wants("server") {
 		out = append(out, ServerOracle(name, src)...)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"staticest"
+	"staticest/internal/core"
 	"staticest/internal/obs"
 	"staticest/internal/opt"
 	"staticest/internal/profile"
@@ -54,20 +56,9 @@ func OptProgram(d *ProgramData) ([]OptRow, error) {
 	sp := Observer().StartSpan("opt.agree", obs.KV("prog", d.Prog.Name))
 	defer sp.End()
 
-	u := d.Unit
 	self, err := profile.Aggregate(d.Profiles)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", d.Prog.Name, err)
-	}
-	selfSrc := opt.ProfileSource(u.CFG, self, "profile")
-
-	sources := make([]*opt.Source, 0, len(opt.EstimateKinds)+1)
-	for _, kind := range opt.EstimateKinds {
-		s, err := opt.EstimateSource(u.CFG, d.Est, kind)
-		if err != nil {
-			return nil, err
-		}
-		sources = append(sources, s)
 	}
 	xp := self
 	if len(d.Profiles) > 1 {
@@ -75,7 +66,31 @@ func OptProgram(d *ProgramData) ([]OptRow, error) {
 			return nil, err
 		}
 	}
-	sources = append(sources, opt.ProfileSource(u.CFG, xp, "xprof"))
+	return AgreementRows(d.Prog.Name, d.Unit, d.Est, self,
+		opt.ProfileSource(d.Unit.CFG, xp, "xprof"))
+}
+
+// AgreementRows computes decision-agreement rows for one compiled unit
+// against an arbitrary reference profile: one row per static estimator
+// (plus any extra sources), then the bracket rows — the reference
+// profile's own layout and source order. OptProgram uses it with the
+// offline self profile; the serving layer uses it with the live ingest
+// aggregate, so "agreement from the live aggregate" is computed by the
+// same arithmetic as the offline report and the two are equal whenever
+// the profiles are.
+func AgreementRows(program string, u *staticest.Unit, est *core.Estimates,
+	ref *profile.Profile, extra ...*opt.Source) ([]OptRow, error) {
+	selfSrc := opt.ProfileSource(u.CFG, ref, "profile")
+
+	sources := make([]*opt.Source, 0, len(opt.EstimateKinds)+len(extra))
+	for _, kind := range opt.EstimateKinds {
+		s, err := opt.EstimateSource(u.CFG, est, kind)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, s)
+	}
+	sources = append(sources, extra...)
 
 	eligible := opt.EligibleSites(u.CFG, u.Call)
 	siteVec := func(s *opt.Source) []float64 {
@@ -91,7 +106,7 @@ func OptProgram(d *ProgramData) ([]OptRow, error) {
 		var sum float64
 		var n int
 		for fi := range u.Sem.Funcs {
-			if self.FuncCalls[fi] == 0 {
+			if ref.FuncCalls[fi] == 0 {
 				continue
 			}
 			ws := opt.SpillWeights(u.CFG, fi, s)
@@ -115,7 +130,7 @@ func OptProgram(d *ProgramData) ([]OptRow, error) {
 
 	layoutRow := func(name string, lay *opt.Layout) OptRow {
 		rate, fall, total := opt.FallThroughRate(u.CFG, lay, selfSrc)
-		return OptRow{Program: d.Prog.Name, Source: name,
+		return OptRow{Program: program, Source: name,
 			FallThrough: rate, FallRaw: fall, TotalRaw: total}
 	}
 

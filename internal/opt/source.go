@@ -21,6 +21,14 @@ var SourceKinds = []string{"loop", "smart", "markov", "profile", "xprof"}
 // EstimateKinds lists the static estimator sources only.
 var EstimateKinds = []string{"loop", "smart", "markov"}
 
+// LiveSourceName names the frequency source built from a unit's live
+// ingest aggregate (the fleet's crowd-sourced cross-input profile).
+const LiveSourceName = "live"
+
+// ServingSourceKinds is SourceKinds plus the live-aggregate source —
+// the set the serving layer's /v1/optimize accepts.
+var ServingSourceKinds = append(append([]string{}, SourceKinds...), LiveSourceName)
+
 // Source is a frequency source an optimizer consumes: absolute block,
 // function-invocation, and call-site frequencies, plus per-edge
 // frequencies derived from them. Estimate sources and measured profiles

@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is one immutable view of an Accumulator: the aggregate
+// profile after a fixed number of merges. Snapshots are shared between
+// readers and must not be mutated.
+type Snapshot struct {
+	// Profile is the aggregate at the snapshot's epoch, exactly equal
+	// (byte for byte) to Aggregate over the merged profiles in merge
+	// order.
+	Profile *Profile
+	// Uploads is the number of profiles merged so far.
+	Uploads int
+	// Epoch increments once per merge; two snapshots with equal epochs
+	// are the same snapshot.
+	Epoch uint64
+}
+
+// Accumulator is the incremental form of Aggregate: profiles are merged
+// one at a time in O(profile) — clone, normalize to the first profile's
+// total, add — instead of re-aggregating every upload, so an online
+// consumer ingesting a stream of profiles pays per upload what the
+// offline Aggregate pays per element.
+//
+// The arithmetic replicates Aggregate operation for operation: the
+// first merged profile becomes the base and fixes the normalization
+// reference, and every later profile is cloned, scaled by ref/total,
+// and added in merge order. A Snapshot taken after the k-th merge is
+// therefore byte-for-byte equal to Aggregate of the first k profiles
+// in the order they were merged — the exactness the ingest oracle in
+// internal/check pins.
+//
+// Concurrency: merges serialize on one mutex held only for the
+// O(profile) normalize-and-add (callers do reconstruction, validation,
+// and cloning of their own data outside). Readers never take that
+// lock on the fast path: Snapshot publishes through an atomic pointer
+// and swaps in a freshly built snapshot only when the epoch has moved
+// (the epoch-swap scheme), so a read-heavy consumer re-reads one
+// pointer until the next merge.
+type Accumulator struct {
+	mu    sync.Mutex
+	ref   float64  // normalization reference: first profile's block total
+	sum   *Profile // running aggregate; nil until the first merge
+	order []string // profile labels in merge order
+
+	epoch atomic.Uint64            // merges completed
+	snap  atomic.Pointer[Snapshot] // last published snapshot
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Add merges p into the aggregate and returns the number of profiles
+// merged so far. p is cloned; the caller keeps ownership. A profile
+// whose shape mismatches the aggregate's is rejected without touching
+// the running sum.
+func (a *Accumulator) Add(p *Profile) (int, error) {
+	qc := p.Clone()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sum == nil {
+		a.ref = qc.TotalBlockCount()
+		if a.ref == 0 {
+			a.ref = 1
+		}
+		qc.Label = "aggregate"
+		a.sum = qc
+	} else {
+		if t := qc.TotalBlockCount(); t > 0 {
+			qc.Scale(a.ref / t)
+		}
+		if err := a.sum.accumulate(qc); err != nil {
+			return len(a.order), err
+		}
+	}
+	a.order = append(a.order, p.Label)
+	a.epoch.Add(1)
+	return len(a.order), nil
+}
+
+// Uploads returns the number of profiles merged so far.
+func (a *Accumulator) Uploads() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.order)
+}
+
+// MergeOrder returns the labels of the merged profiles in merge order
+// (the order whose offline Aggregate the snapshot equals exactly).
+func (a *Accumulator) MergeOrder() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.order...)
+}
+
+// Snapshot returns the current aggregate view, plus whether this call
+// built (swapped in) a new snapshot. The fast path — no merges since
+// the last snapshot — is one atomic load. An empty accumulator returns
+// (nil, false).
+func (a *Accumulator) Snapshot() (*Snapshot, bool) {
+	epoch := a.epoch.Load()
+	if epoch == 0 {
+		return nil, false
+	}
+	if s := a.snap.Load(); s != nil && s.Epoch == epoch {
+		return s, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Re-check under the lock: another reader may have swapped first.
+	epoch = a.epoch.Load()
+	if s := a.snap.Load(); s != nil && s.Epoch == epoch {
+		return s, false
+	}
+	s := &Snapshot{Profile: a.sum.Clone(), Uploads: len(a.order), Epoch: epoch}
+	a.snap.Store(s)
+	return s, true
+}

@@ -1,0 +1,216 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// accProfile builds a small distinct profile for accumulator tests.
+func accProfile(label string, k float64) *Profile {
+	p := New([]int{2, 3}, 2, 1, []int{2})
+	p.Label = label
+	p.BlockCounts[0][0] = 3 * k
+	p.BlockCounts[0][1] = 1 * k
+	p.BlockCounts[1][0] = 7 * k
+	p.BlockCounts[1][2] = 2 * k
+	p.FuncCalls[0] = 3 * k
+	p.FuncCalls[1] = 7 * k
+	p.CallSiteCounts[1] = 5 * k
+	p.BranchTaken[0] = 2 * k
+	p.BranchNot[0] = 1 * k
+	p.SwitchArm[0][1] = 4 * k
+	p.Cycles = 11 * k
+	return p
+}
+
+// TestAccumulatorMatchesAggregate pins the core contract: after k
+// merges, the snapshot is byte-for-byte what Aggregate computes over
+// the same profiles in the same order — including the normalization to
+// the first profile's total.
+func TestAccumulatorMatchesAggregate(t *testing.T) {
+	profiles := []*Profile{
+		accProfile("a", 1),
+		accProfile("b", 3.5),
+		accProfile("c", 0.25),
+		accProfile("d", 19),
+	}
+	acc := NewAccumulator()
+	for k, p := range profiles {
+		if n, err := acc.Add(p); err != nil {
+			t.Fatalf("Add %d: %v", k, err)
+		} else if n != k+1 {
+			t.Fatalf("Add %d returned %d uploads, want %d", k, n, k+1)
+		}
+		snap, _ := acc.Snapshot()
+		want, err := Aggregate(profiles[:k+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mustEqual(want, snap.Profile); err != nil {
+			t.Fatalf("after %d merges: %v", k+1, err)
+		}
+		if snap.Uploads != k+1 || snap.Epoch != uint64(k+1) {
+			t.Fatalf("snapshot meta = {uploads %d, epoch %d}, want %d/%d",
+				snap.Uploads, snap.Epoch, k+1, k+1)
+		}
+	}
+	if got := acc.MergeOrder(); fmt.Sprint(got) != "[a b c d]" {
+		t.Errorf("merge order %v, want [a b c d]", got)
+	}
+}
+
+// mustEqual compares profiles under exact float equality.
+func mustEqual(want, got *Profile) error {
+	cmp := func(what string, w, g []float64) error {
+		if len(w) != len(g) {
+			return fmt.Errorf("%s: length %d vs %d", what, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				return fmt.Errorf("%s[%d]: %v vs %v", what, i, w[i], g[i])
+			}
+		}
+		return nil
+	}
+	for f := range want.BlockCounts {
+		if err := cmp(fmt.Sprintf("blocks f%d", f), want.BlockCounts[f], got.BlockCounts[f]); err != nil {
+			return err
+		}
+	}
+	for _, c := range []struct {
+		what string
+		w, g []float64
+	}{
+		{"calls", want.FuncCalls, got.FuncCalls},
+		{"sites", want.CallSiteCounts, got.CallSiteCounts},
+		{"taken", want.BranchTaken, got.BranchTaken},
+		{"not", want.BranchNot, got.BranchNot},
+	} {
+		if err := cmp(c.what, c.w, c.g); err != nil {
+			return err
+		}
+	}
+	for s := range want.SwitchArm {
+		if err := cmp(fmt.Sprintf("switch %d", s), want.SwitchArm[s], got.SwitchArm[s]); err != nil {
+			return err
+		}
+	}
+	if want.Cycles != got.Cycles {
+		return fmt.Errorf("cycles: %v vs %v", want.Cycles, got.Cycles)
+	}
+	if want.Label != got.Label {
+		return fmt.Errorf("label: %q vs %q", want.Label, got.Label)
+	}
+	return nil
+}
+
+// TestAccumulatorEpochSwap pins the read path: repeated snapshots with
+// no intervening merge return the same pointer without rebuilding, and
+// a merge invalidates it.
+func TestAccumulatorEpochSwap(t *testing.T) {
+	acc := NewAccumulator()
+	if s, swapped := acc.Snapshot(); s != nil || swapped {
+		t.Fatalf("empty accumulator snapshot = (%v, %v), want (nil, false)", s, swapped)
+	}
+	acc.Add(accProfile("a", 1))
+	s1, swapped := acc.Snapshot()
+	if !swapped {
+		t.Fatal("first snapshot after a merge did not rebuild")
+	}
+	s2, swapped := acc.Snapshot()
+	if swapped || s2 != s1 {
+		t.Fatal("idle snapshot rebuilt instead of returning the published pointer")
+	}
+	acc.Add(accProfile("b", 2))
+	s3, swapped := acc.Snapshot()
+	if !swapped || s3 == s1 {
+		t.Fatal("snapshot after a merge did not swap in a fresh aggregate")
+	}
+	if s3.Epoch != 2 || s3.Uploads != 2 {
+		t.Fatalf("snapshot meta = %d/%d, want epoch 2, uploads 2", s3.Epoch, s3.Uploads)
+	}
+}
+
+// TestAccumulatorShapeMismatch pins that a mismatched profile is
+// rejected without poisoning the running aggregate.
+func TestAccumulatorShapeMismatch(t *testing.T) {
+	acc := NewAccumulator()
+	acc.Add(accProfile("a", 1))
+	bad := New([]int{5}, 1, 0, nil)
+	bad.BlockCounts[0][0] = 1
+	if _, err := acc.Add(bad); err == nil {
+		t.Fatal("mismatched profile accepted")
+	}
+	snap, _ := acc.Snapshot()
+	want, _ := Aggregate([]*Profile{accProfile("a", 1)})
+	if err := mustEqual(want, snap.Profile); err != nil {
+		t.Fatalf("aggregate changed by rejected profile: %v", err)
+	}
+	if snap.Uploads != 1 {
+		t.Fatalf("uploads = %d after rejection, want 1", snap.Uploads)
+	}
+}
+
+// TestAccumulatorConcurrentReaders runs merges and snapshots in
+// parallel (exercised under -race) and checks the final snapshot is
+// exactly the offline aggregate in recorded merge order.
+func TestAccumulatorConcurrentReaders(t *testing.T) {
+	acc := NewAccumulator()
+	byLabel := map[string]*Profile{}
+	const writers, perWriter = 8, 16
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			label := fmt.Sprintf("w%d-%d", w, i)
+			byLabel[label] = accProfile(label, float64(w*7+i+1))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := acc.Add(byLabel[fmt.Sprintf("w%d-%d", w, i)]); err != nil {
+					t.Errorf("Add: %v", err)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s, _ := acc.Snapshot(); s != nil && s.Profile.TotalBlockCount() <= 0 {
+					t.Error("snapshot with non-positive block total")
+					return
+				}
+			}
+		}()
+	}
+	for acc.Uploads() < writers*perWriter {
+	}
+	close(stop)
+	wg.Wait()
+
+	order := acc.MergeOrder()
+	ordered := make([]*Profile, len(order))
+	for i, label := range order {
+		ordered[i] = byLabel[label]
+	}
+	want, err := Aggregate(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := acc.Snapshot()
+	if err := mustEqual(want, snap.Profile); err != nil {
+		t.Fatalf("concurrent aggregate differs from offline merge-order aggregate: %v", err)
+	}
+}

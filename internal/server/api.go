@@ -340,8 +340,9 @@ func suiteInput(p *suite.Program, name string) (*suite.Input, error) {
 type OptimizeRequest struct {
 	sourceRef
 	// FreqSource picks the driving frequencies: loop, smart, markov
-	// (static; any program), or profile, xprof (measured; suite
-	// programs only). Default smart.
+	// (static; any program), profile, xprof (measured; suite programs
+	// only), or live (the fleet-ingested aggregate, falling back to
+	// smart static estimates for cold fingerprints). Default smart.
 	FreqSource string `json:"freq_source,omitempty"`
 	// Budget is the inlining size budget in cloned callee blocks
 	// (default opt.DefaultBudget).
@@ -407,12 +408,17 @@ type SpillReport struct {
 // OptimizeResponse is the optimize endpoint's reply; only requested
 // reports are present.
 type OptimizeResponse struct {
-	Program     string        `json:"program"`
-	Fingerprint string        `json:"fingerprint"`
-	FreqSource  string        `json:"freq_source"`
-	Inline      *InlineReport `json:"inline,omitempty"`
-	Layout      *LayoutReport `json:"layout,omitempty"`
-	Spill       *SpillReport  `json:"spill,omitempty"`
+	Program     string `json:"program"`
+	Fingerprint string `json:"fingerprint"`
+	FreqSource  string `json:"freq_source"`
+	// Fallback names the source actually used when freq_source "live"
+	// found no ingested profiles for this fingerprint (cold code is
+	// served from static estimates).
+	Fallback string        `json:"fallback,omitempty"`
+	Uploads  int           `json:"uploads,omitempty"`
+	Inline   *InlineReport `json:"inline,omitempty"`
+	Layout   *LayoutReport `json:"layout,omitempty"`
+	Spill    *SpillReport  `json:"spill,omitempty"`
 }
 
 func (s *Server) handleOptimize(r *http.Request) (any, error) {
@@ -428,7 +434,7 @@ func (s *Server) handleOptimize(r *http.Request) (any, error) {
 	if kind == "" {
 		kind = "smart"
 	}
-	if err := checkEnum("freq_source", kind, opt.SourceKinds); err != nil {
+	if err := checkEnum("freq_source", kind, opt.ServingSourceKinds); err != nil {
 		return nil, err
 	}
 	reports := req.Reports
@@ -473,9 +479,25 @@ func (s *Server) handleOptimize(r *http.Request) (any, error) {
 	}
 
 	var fsrc *opt.Source
+	fallback := ""
+	uploads := 0
 	switch kind {
 	case "profile":
 		fsrc = selfSrc
+	case opt.LiveSourceName:
+		if ls, ok := s.liveSource(c); ok {
+			fsrc = ls
+			if snap, ok := s.ingest.Snapshot(c.fingerprint); ok {
+				uploads = snap.Uploads
+			}
+		} else {
+			// Cold fingerprint: nothing ingested yet, so the static
+			// estimator serves until the fleet warms it up.
+			fallback = "smart"
+			if fsrc, err = opt.EstimateSource(u.CFG, c.estimates(), "smart"); err != nil {
+				return nil, errBadRequest("%v", err)
+			}
+		}
 	case "xprof":
 		d, _ := eval.LoadCached(prog) // cached above
 		held := d.Profiles
@@ -494,7 +516,8 @@ func (s *Server) handleOptimize(r *http.Request) (any, error) {
 		}
 	}
 
-	resp := &OptimizeResponse{Program: u.Name, Fingerprint: c.fingerprint, FreqSource: kind}
+	resp := &OptimizeResponse{Program: u.Name, Fingerprint: c.fingerprint,
+		FreqSource: kind, Fallback: fallback, Uploads: uploads}
 	if want["inline"] {
 		plan := u.PlanInline(fsrc, req.Budget)
 		rep := &InlineReport{

@@ -1,11 +1,14 @@
 package server_test
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"encoding/json"
 
 	"staticest/internal/obs"
 	"staticest/internal/server"
@@ -45,6 +48,51 @@ func BenchmarkServeEstimate(b *testing.B) {
 	b.StopTimer()
 	o := s.Observer()
 	if miss := o.Counter("server_cache_miss").Value(); miss != 1 {
+		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
+	}
+}
+
+// BenchmarkIngest measures the steady-state cost of one fleet upload:
+// routing, JSON decoding, probe reconstruction, and the locked merge
+// into the live accumulator. The unit is registered up front, so the
+// loop never compiles; every iteration carries a fresh upload ID, so
+// every request takes the accept path. scripts/bench.sh records it in
+// the BENCH_serve.json trajectory.
+func BenchmarkIngest(b *testing.B) {
+	s := server.New(server.Config{Obs: obs.New()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	vec, _ := strchrVector(b)
+	counts, err := json.Marshal(vec.Counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	do := func(id string) {
+		body := `{"name":"strchr.c","source":` + jsonString(strchrSrc) +
+			`,"upload_id":"` + id + `","label":"bench","counts":` + string(counts) + `}`
+		resp, err := http.Post(ts.URL+"/v1/profiles/ingest", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	do("warm") // registers the unit; the measured loop never compiles
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do(fmt.Sprintf("b%d", i))
+	}
+	b.StopTimer()
+	if miss := s.Observer().Counter("server_cache_miss").Value(); miss != 1 {
 		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
 	}
 }

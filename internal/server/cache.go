@@ -117,6 +117,20 @@ func (uc *unitCache) insertLocked(key string, c *compiled) {
 	}
 }
 
+// lookup returns the cached compilation for key without compiling (and
+// without disturbing an in-flight compile). Fingerprint-only requests
+// (profile ingest) use it: they can only refer to sources the server
+// has already seen.
+func (uc *unitCache) lookup(key string) (*compiled, bool) {
+	uc.mu.Lock()
+	defer uc.mu.Unlock()
+	if el, ok := uc.byKey[key]; ok {
+		uc.lru.MoveToFront(el)
+		return el.Value.(*compiled), true
+	}
+	return nil, false
+}
+
 // len returns the number of cached units.
 func (uc *unitCache) len() int {
 	uc.mu.Lock()

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"io"
 	"net/http"
@@ -23,6 +24,15 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGoldenEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, server.Config{})
 
+	// The ingest cases upload a real sparse probe vector; planning and
+	// the interpreter are deterministic, so the vector — and therefore
+	// every response below — is stable.
+	vec, fp := strchrVector(t)
+	counts, err := json.Marshal(vec.Counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	cases := []struct {
 		name   string
 		method string
@@ -40,6 +50,20 @@ func TestGoldenEndpoints(t *testing.T) {
 		{"optimize_compress", "POST", "/v1/optimize",
 			`{"program":"compress","freq_source":"smart","budget":32}`},
 		{"explain_compress", "GET", "/v1/explain?program=compress&top=5", ""},
+		// The PGO loop, in order: two uploads, the stats view with
+		// agreement rows, then optimize serving from the live aggregate
+		// (and the static fallback for a cold fingerprint).
+		{"ingest_strchr", "POST", "/v1/profiles/ingest",
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) +
+				`,"upload_id":"g1","label":"run1","counts":` + string(counts) + `}`},
+		{"ingest_strchr_again", "POST", "/v1/profiles/ingest",
+			`{"fingerprint":"` + fp + `","upload_id":"g2","label":"run2","counts":` + string(counts) + `}`},
+		{"stats_list", "GET", "/v1/profiles/stats", ""},
+		{"stats_strchr_agreement", "GET", "/v1/profiles/stats?fingerprint=" + fp + "&agreement=1", ""},
+		{"optimize_live_strchr", "POST", "/v1/optimize",
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"freq_source":"live","reports":["inline"]}`},
+		{"optimize_live_cold_compress", "POST", "/v1/optimize",
+			`{"program":"compress","freq_source":"live","reports":["inline"]}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,7 +4,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"staticest/internal/obs"
 )
@@ -37,6 +39,67 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	if n := o.Counter(obs.Labels("server_errors_total", "endpoint", "boom")).Value(); n != 1 {
 		t.Errorf("server_errors_total = %d, want 1", n)
+	}
+}
+
+// TestLoadShedding pins the saturation contract: with every worker
+// slot held, a request waits at most QueueWait and is then shed with
+// 429 + Retry-After (never queued indefinitely), server_shed_total is
+// bumped, and a request arriving after a slot frees succeeds.
+func TestLoadShedding(t *testing.T) {
+	o := obs.New()
+	s := New(Config{Obs: o, MaxConcurrent: 1, QueueWait: 30 * time.Millisecond})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	h := s.api("slow", func(_ *http.Request) (any, error) {
+		entered <- struct{}{}
+		<-release
+		return map[string]string{"status": "done"}, nil
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := httptest.NewRecorder()
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(first, httptest.NewRequest("POST", "/v1/slow", strings.NewReader("{}")))
+	}()
+	<-entered // the only worker slot is now held
+
+	shedStart := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/slow", strings.NewReader("{}")))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request got status %d, want 429", rec.Code)
+	}
+	if waited := time.Since(shedStart); waited > 5*time.Second {
+		t.Fatalf("shed took %v — request queued far past QueueWait", waited)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if !strings.Contains(rec.Body.String(), "saturated") {
+		t.Errorf("shed body %q does not explain saturation", rec.Body.String())
+	}
+	if n := o.Counter("server_shed_total").Value(); n != 1 {
+		t.Errorf("server_shed_total = %d, want 1", n)
+	}
+
+	close(release)
+	wg.Wait()
+	if first.Code != http.StatusOK {
+		t.Fatalf("slot-holding request got status %d, want 200", first.Code)
+	}
+	// The slot is free and release is closed, so a fresh request enters
+	// the handler and returns immediately: it must not be shed.
+	recovered := httptest.NewRecorder()
+	h.ServeHTTP(recovered, httptest.NewRequest("POST", "/v1/slow", strings.NewReader("{}")))
+	<-entered
+	if recovered.Code != http.StatusOK {
+		t.Fatalf("post-recovery request got status %d, want 200", recovered.Code)
+	}
+	if n := o.Counter("server_shed_total").Value(); n != 1 {
+		t.Errorf("server_shed_total = %d after recovery, want still 1", n)
 	}
 }
 

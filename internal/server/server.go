@@ -29,10 +29,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"staticest"
 	"staticest/internal/eval"
+	"staticest/internal/ingest"
 	"staticest/internal/obs"
 )
 
@@ -48,9 +50,15 @@ type Config struct {
 	// exceeding it get 503 (default 60s).
 	RequestTimeout time.Duration
 	// MaxConcurrent bounds API requests doing pipeline work at once;
-	// excess requests queue on the semaphore (default
-	// eval.Parallelism(), i.e. the harness's worker-pool width).
+	// excess requests queue on the semaphore for at most QueueWait
+	// (default eval.Parallelism(), i.e. the harness's worker-pool
+	// width).
 	MaxConcurrent int
+	// QueueWait bounds how long a request may wait for a worker slot
+	// when the semaphore is saturated; past it the server sheds load
+	// with 429 + Retry-After instead of queueing indefinitely (default
+	// 500ms).
+	QueueWait time.Duration
 	// DrainTimeout bounds the graceful-shutdown drain (default 30s).
 	DrainTimeout time.Duration
 	// MaxSteps bounds each served interpreter run's block executions
@@ -75,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = eval.Parallelism()
 	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 500 * time.Millisecond
+	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
@@ -89,15 +100,24 @@ func (c Config) withDefaults() Config {
 
 // Server serves estimation queries over compiled units.
 type Server struct {
-	cfg   Config
-	obs   *obs.Observer
-	cache *unitCache
-	sem   chan struct{}
-	mux   *http.ServeMux
+	cfg    Config
+	obs    *obs.Observer
+	cache  *unitCache
+	ingest *ingest.Store
+	sem    chan struct{}
+	mux    *http.ServeMux
+
+	// liveUnits pins the compiled unit of every ingested fingerprint
+	// (fingerprint -> *compiled): the LRU may evict cold sources, but a
+	// unit with a live aggregate must stay resolvable for
+	// /v1/profiles/stats and freq_source "live". Bounded by the number
+	// of distinct fingerprints ever ingested.
+	liveUnits sync.Map
 
 	hits     *obs.Counter
 	misses   *obs.Counter
 	inflight *obs.Gauge
+	shed     *obs.Counter
 }
 
 // New builds a Server and its routing table.
@@ -107,21 +127,26 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		obs:      cfg.Obs,
 		cache:    newUnitCache(cfg.CacheSize),
+		ingest:   ingest.NewStore(cfg.Obs),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		mux:      http.NewServeMux(),
 		hits:     cfg.Obs.Counter("server_cache_hit"),
 		misses:   cfg.Obs.Counter("server_cache_miss"),
 		inflight: cfg.Obs.Gauge("server_inflight"),
+		shed:     cfg.Obs.Counter("server_shed_total"),
 	}
 
 	s.mux.Handle("POST /v1/estimate", s.api("estimate", s.handleEstimate))
 	s.mux.Handle("POST /v1/profile", s.api("profile", s.handleProfile))
 	s.mux.Handle("POST /v1/optimize", s.api("optimize", s.handleOptimize))
 	s.mux.Handle("GET /v1/explain", s.api("explain", s.handleExplain))
+	s.mux.Handle("POST /v1/profiles/ingest", s.api("ingest", s.handleIngest))
+	s.mux.Handle("GET /v1/profiles/stats", s.api("stats", s.handleStats))
 
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"cached_units\":%d}\n", s.cache.len())
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"cached_units\":%d,\"live_units\":%d}\n",
+			s.cache.len(), s.ingest.Len())
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -168,6 +193,10 @@ func errUnprocessable(format string, args ...any) error {
 	return &httpError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
 }
 
+func errConflict(format string, args ...any) error {
+	return &httpError{status: http.StatusConflict, msg: fmt.Sprintf(format, args...)}
+}
+
 // apiHandler computes one endpoint's response value; the middleware in
 // api handles decoding limits, timeouts, recovery, and encoding.
 type apiHandler func(r *http.Request) (any, error)
@@ -190,15 +219,32 @@ func (s *Server) api(name string, h apiHandler) http.Handler {
 		sp := s.obs.StartSpan("server." + name)
 		defer sp.End()
 
-		// Bound concurrent pipeline work; queued requests still honor
-		// the client hanging up.
+		// Bound concurrent pipeline work. A request never queues
+		// indefinitely: when the semaphore is saturated it waits at most
+		// QueueWait, then is shed with 429 + Retry-After so clients back
+		// off instead of piling up. The un-contended path stays a single
+		// non-blocking send (no timer allocation).
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			errorsC.Add(1)
-			writeJSONError(w, http.StatusServiceUnavailable, "cancelled while queued")
-			return
+		default:
+			t := time.NewTimer(s.cfg.QueueWait)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				t.Stop()
+				errorsC.Add(1)
+				writeJSONError(w, http.StatusServiceUnavailable, "cancelled while queued")
+				return
+			case <-t.C:
+				errorsC.Add(1)
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSONError(w, http.StatusTooManyRequests, "server saturated: all workers busy; retry later")
+				return
+			}
 		}
 
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)

@@ -1,46 +1,59 @@
 #!/bin/sh
-# Benchmark-trajectory harness: runs the interpreter, probe-profiling,
-# and observability benchmarks and writes BENCH_interp.json — one
-# machine-readable snapshot of the numbers this checkout produces,
-# committed periodically so performance can be tracked across history.
+# Benchmark-trajectory harness: runs the benchmark families and writes
+# machine-readable snapshots of the numbers this checkout produces,
+# committed periodically so performance can be tracked across history:
+#
+#   BENCH_interp.json  interpreter, probe-profiling, observability
+#   BENCH_serve.json   serving paths (estimate cache hits, fleet ingest)
 #
 #   scripts/bench.sh                  # smoke run (-benchtime 1x)
 #   BENCH_TIME=2s scripts/bench.sh    # steadier numbers
-#   BENCH_OUT=- scripts/bench.sh      # JSON to stdout
+#   BENCH_OUT=- scripts/bench.sh      # interp JSON to stdout
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_interp.json}
-filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|ServeEstimate'}
 benchtime=${BENCH_TIME:-1x}
 
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
-
-go test -run '^$' -bench "$filter" -benchtime "$benchtime" . ./internal/obs ./internal/server | tee "$raw" >&2
-
-json=$(awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
-BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
-	n = 0
-}
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	if (n++) printf ","
-	printf "\n    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
-	m = 0
-	for (i = 3; i < NF; i += 2) {
-		if (m++) printf ", "
-		printf "\"%s\": %s", $(i + 1), $i
+# bench_json FILTER PKGS... — runs the benchmarks and prints one JSON
+# snapshot of every Benchmark line on stdout (raw output to stderr).
+bench_json() {
+	filter=$1
+	shift
+	raw=$(mktemp)
+	go test -run '^$' -bench "$filter" -benchtime "$benchtime" "$@" | tee "$raw" >&2
+	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+	BEGIN {
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+		n = 0
 	}
-	printf "}}"
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
+		m = 0
+		for (i = 3; i < NF; i += 2) {
+			if (m++) printf ", "
+			printf "\"%s\": %s", $(i + 1), $i
+		}
+		printf "}}"
+	}
+	END { printf "\n  ]\n}\n" }' "$raw"
+	rm -f "$raw"
 }
-END { printf "\n  ]\n}" }' "$raw")
 
-if [ "$out" = "-" ]; then
-	printf '%s\n' "$json"
-else
-	printf '%s\n' "$json" >"$out"
-	echo "wrote $out" >&2
-fi
+# emit JSON OUT — writes the snapshot to OUT ("-" = stdout).
+emit() {
+	if [ "$2" = "-" ]; then
+		printf '%s\n' "$1"
+	else
+		printf '%s\n' "$1" >"$2"
+		echo "wrote $2" >&2
+	fi
+}
+
+interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd'}
+serve_filter=${BENCH_SERVE_FILTER:-'ServeEstimate|^BenchmarkIngest$'}
+
+emit "$(bench_json "$interp_filter" . ./internal/obs)" "${BENCH_OUT:-BENCH_interp.json}"
+emit "$(bench_json "$serve_filter" ./internal/server)" "${BENCH_SERVE_OUT:-BENCH_serve.json}"

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Fleet-soak smoke: boots a serve instance, points cmd/fleet at it, and
+# fails unless every upload lands and the live aggregate's decision
+# agreement converges to the offline eval values (fleet's -tol check).
+# The server is then shut down gracefully, so the drain path runs too.
+#
+#   scripts/fleet_soak.sh                 # 200 uploads of compress
+#   FLEET_N=1000 FLEET_PROGRAM=eqntott scripts/fleet_soak.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+n=${FLEET_N:-200}
+addr=${FLEET_ADDR:-localhost:8097}
+program=${FLEET_PROGRAM:-compress}
+
+bin=$(mktemp -d)
+serve_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/serve" ./cmd/serve
+go build -o "$bin/fleet" ./cmd/fleet
+
+"$bin/serve" -addr "$addr" &
+serve_pid=$!
+
+ok=""
+for _ in $(seq 1 100); do
+	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "fleet_soak: serve never became healthy on $addr" >&2; exit 1; }
+
+"$bin/fleet" -addr "$addr" -program "$program" -n "$n" -j 8
+
+echo "fleet_soak: final health: $(curl -s "http://$addr/healthz")" >&2
+
+# Graceful drain: SIGTERM must exit cleanly.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+echo "fleet_soak: OK ($n uploads, clean drain)" >&2
