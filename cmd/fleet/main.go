@@ -14,7 +14,10 @@
 // offline ones; -tol turns that into an exit status for CI soaks.
 //
 // Members that get shed (429) honor Retry-After and retry, so the
-// driver doubles as a smoke test of the server's load-shed path.
+// driver doubles as a smoke test of the server's load-shed path. Every
+// upload's end-to-end latency (including shed retries) accumulates
+// into a client-side histogram; the final report prints its
+// p50/p99/p999, and -trace captures per-upload spans as JSONL.
 //
 // Usage:
 //
@@ -37,7 +40,9 @@ import (
 	"time"
 
 	"staticest"
+	"staticest/internal/cliutil"
 	"staticest/internal/eval"
+	"staticest/internal/obs"
 	"staticest/internal/probes"
 	"staticest/internal/server"
 	"staticest/internal/suite"
@@ -50,19 +55,27 @@ func main() {
 	jobs := flag.Int("j", 8, "concurrent fleet members")
 	rate := flag.Float64("rate", 0, "target uploads per second (0 = unthrottled)")
 	tol := flag.Float64("tol", 0.1, "max allowed final |live - offline| agreement delta (negative = report only)")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
 	flag.Parse()
 	if flag.NArg() > 0 || *n < 1 || *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "usage: fleet [flags]")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *program, *n, *jobs, *rate, *tol); err != nil {
+	o, closeObs, err := cliutil.Observability(*trace, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+	err = run(*addr, *program, *n, *jobs, *rate, *tol, o)
+	closeObs()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, program string, n, jobs int, rate, tol float64) error {
+func run(addr, program string, n, jobs int, rate, tol float64, o *obs.Observer) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -115,7 +128,16 @@ func run(addr, program string, n, jobs int, rate, tol float64) error {
 
 	// First contact ships the program reference so the server registers
 	// the unit; everyone after uploads against the bare fingerprint.
-	f := &fleet{base: base, fp: fp, program: p.Name, inputs: p.Inputs, vectors: vectors}
+	// Upload latency accumulates into a client-side histogram: with an
+	// observer it also lands in the trace's final totals, without one
+	// the standalone histogram still feeds the convergence report's
+	// percentile line.
+	lat := obs.NewHistogram("fleet_upload_seconds")
+	if o != nil {
+		lat = o.Histogram("fleet_upload_seconds")
+	}
+	f := &fleet{base: base, fp: fp, program: p.Name, inputs: p.Inputs, vectors: vectors,
+		obs: o, lat: lat}
 	if err := f.upload(0, true); err != nil {
 		return fmt.Errorf("registering upload: %v", err)
 	}
@@ -169,6 +191,9 @@ func run(addr, program string, n, jobs int, rate, tol float64) error {
 		maxDelta = delta
 	}
 
+	s := f.lat.Summarize()
+	fmt.Printf("fleet: upload latency p50=%.3fms p99=%.3fms p999=%.3fms (n=%d)\n",
+		s.P50*1e3, s.P99*1e3, s.P999*1e3, s.Count)
 	fmt.Printf("fleet: %d uploads done; final max agreement delta %.3f\n", done, maxDelta)
 	if tol >= 0 && maxDelta > tol {
 		return fmt.Errorf("final agreement delta %.3f exceeds tolerance %.3f — live aggregate did not converge", maxDelta, tol)
@@ -182,12 +207,19 @@ type fleet struct {
 	program string
 	inputs  []suite.Input
 	vectors []*probes.Vector
+	obs     *obs.Observer
+	lat     *obs.Histogram
 }
 
 // upload ships vector i%len(inputs) as member i. withSource registers
 // the unit on first contact. Shed uploads (429) retry after the
-// server's Retry-After hint.
+// server's Retry-After hint; the latency histogram records the whole
+// call including those retries — what a fleet member actually waits.
 func (f *fleet) upload(i int, withSource bool) error {
+	start := time.Now()
+	defer f.lat.ObserveSince(start)
+	sp := f.obs.StartSpan("fleet.upload", obs.KV("member", i))
+	defer sp.End()
 	vec := f.vectors[i%len(f.vectors)]
 	req := server.IngestRequest{
 		Fingerprint: f.fp,
@@ -207,7 +239,16 @@ func (f *fleet) upload(i int, withSource bool) error {
 	}
 
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(f.base+"/v1/profiles/ingest", "application/json", bytes.NewReader(body))
+		hr, err := http.NewRequest("POST", f.base+"/v1/profiles/ingest", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		// Propagate the upload ID as the request ID so this upload's
+		// server-side span tree is findable by the same name that the
+		// ingest store deduplicates on.
+		hr.Header.Set("X-Request-ID", req.UploadID)
+		resp, err := http.DefaultClient.Do(hr)
 		if err != nil {
 			return err
 		}

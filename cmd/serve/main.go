@@ -10,8 +10,10 @@
 //	POST /v1/profiles/ingest   fleet upload of one sparse probe vector
 //	GET  /v1/profiles/stats    live per-unit aggregates (+ agreement rows)
 //
-// plus /healthz, /metrics (Prometheus text exposition), and
-// /debug/pprof/. Requests name a benchmark-suite program or ship C
+// plus /healthz, /metrics (Prometheus text exposition, including
+// per-endpoint latency histograms and runtime gauges), /v1/debug/status
+// (ops snapshot), /v1/debug/slow (span trees of the slowest requests),
+// and /debug/pprof/. Requests name a benchmark-suite program or ship C
 // source inline; identical sources share one cached compilation
 // (singleflight), so a hot source is compiled exactly once no matter
 // how many clients ask.
@@ -46,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"staticest/internal/cliutil"
 	"staticest/internal/eval"
 	"staticest/internal/obs"
 	"staticest/internal/server"
@@ -61,6 +64,7 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "max wait for a worker slot before shedding with 429")
 	jobs := flag.Int("j", 0, "concurrent pipeline requests (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
+	metrics := flag.Bool("metrics", false, "print the final metrics exposition to stderr at exit")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -70,22 +74,18 @@ func main() {
 	}
 	eval.SetParallelism(*jobs)
 
-	var opts []obs.Option
-	var traceFile *os.File
-	if *trace != "" {
-		w := os.Stderr
-		if *trace != "-" {
-			f, err := os.Create(*trace)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "serve: opening trace file: %v\n", err)
-				os.Exit(1)
-			}
-			traceFile = f
-			w = f
-		}
-		opts = append(opts, obs.WithSink(obs.NewJSONLSink(w)))
+	// The server requires an observability domain (its /metrics and
+	// debug endpoints are part of the API), so a run without -trace or
+	// -metrics still gets a live observer — just no JSONL sink.
+	o, closeObs, err := cliutil.Observability(*trace, *metrics)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
 	}
-	o := obs.New(opts...)
+	if o == nil {
+		o = obs.New()
+		closeObs = func() {}
+	}
 	eval.SetObserver(o)
 
 	s := server.New(server.Config{
@@ -102,11 +102,11 @@ func main() {
 	defer stop()
 
 	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
-	err := s.ListenAndServe(ctx, *addr)
-	o.Flush()
-	if traceFile != nil {
-		traceFile.Close()
+	err = s.ListenAndServe(ctx, *addr)
+	if *metrics {
+		o.WriteProm(os.Stderr)
 	}
+	closeObs()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)

@@ -43,9 +43,15 @@ func main() {
 	outDir := flag.String("out", "testdata/repro", "directory for reproducer files")
 	inject := flag.String("inject", "",
 		"deliberately break an estimator before checking (logical)")
+	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
+	metrics := flag.Bool("metrics", false, "print the metrics exposition to stderr at exit")
 	flag.Parse()
 
 	sel, err := cliutil.CheckEnums("oracles", *oracles, oracleNames...)
+	if err != nil {
+		fail(err)
+	}
+	o, closeObs, err := cliutil.Observability(*trace, *metrics)
 	if err != nil {
 		fail(err)
 	}
@@ -60,13 +66,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := check.Options{Oracles: sel, ServerEvery: *serverEvery}
+	opt := check.Options{Oracles: sel, ServerEvery: *serverEvery, Obs: o}
 	if *inject == "logical" {
 		opt.Inject = func(est *staticest.Estimates) { check.BreakLogical(est) }
 	}
 
 	fmt.Printf("stress: seed=%d n=%d oracles=%s\n", *seed, *n, *oracles)
 	fails := check.RunAll(*seed, *n, opt)
+	if *metrics {
+		o.WriteProm(os.Stderr)
+	}
+	closeObs()
 	if len(fails) == 0 {
 		fmt.Printf("stress: %d programs, all oracles passed\n", *n)
 		return

@@ -21,6 +21,10 @@ type Options struct {
 	// deliberately-broken-estimator hook used to prove the harness can
 	// catch a real bug (see BreakLogical).
 	Inject func(*staticest.Estimates)
+	// Obs, when non-nil, records each checked program's compile and run
+	// under the usual pipeline spans and counters (cmd/stress wires the
+	// common -trace/-metrics flags to it). Nil disables recording.
+	Obs *staticest.Observer
 }
 
 func (o Options) wants(name string) bool {
@@ -38,7 +42,7 @@ func (o Options) wants(name string) bool {
 // Run compiles one program and runs the selected oracles, returning
 // every failure (nil means the program passes).
 func Run(name string, src []byte, opt Options) []Failure {
-	u, err := staticest.Compile(name, src)
+	u, err := staticest.CompileObs(name, src, opt.Obs)
 	if err != nil {
 		return []Failure{{Oracle: "compile", Detail: err.Error()}}
 	}

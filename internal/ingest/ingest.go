@@ -20,6 +20,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -106,6 +107,13 @@ type Store struct {
 	units   *obs.Gauge
 }
 
+// rejectReasons enumerates every reason label reject is called with.
+// NewStore pre-registers a counter per reason so the full
+// ingest_rejects_total family is present in the exposition from the
+// first scrape — a soak that rejected nothing still proves the series
+// exist (scripts/fleet_soak.sh checks for them).
+var rejectReasons = []string{"unknown_fingerprint", "invalid", "shape", "duplicate"}
+
 // NewStore creates an empty store reporting to o (nil disables
 // observability).
 func NewStore(o *obs.Observer) *Store {
@@ -114,6 +122,9 @@ func NewStore(o *obs.Observer) *Store {
 		uploads: o.Counter("ingest_uploads_total"),
 		swaps:   o.Counter("ingest_epoch_swaps_total"),
 		units:   o.Gauge("ingest_units"),
+	}
+	for _, reason := range rejectReasons {
+		o.Counter(obs.Labels("ingest_rejects_total", "reason", reason))
 	}
 	for i := range s.shards {
 		s.shards[i].units = make(map[string]*unit)
@@ -188,6 +199,16 @@ func (s *Store) reject(reason string, sentinel error, format string, args ...any
 // the sentinel errors above (check with errors.Is) and never modify
 // the aggregate.
 func (s *Store) Ingest(fp string, up Upload) (*Receipt, error) {
+	return s.IngestCtx(context.Background(), fp, up)
+}
+
+// IngestCtx is Ingest under request-scoped tracing: the upload's
+// "ingest.merge" span (validation + reconstruction + merge) parents
+// from ctx's span when one is present, so a served upload appears in
+// its HTTP request's span tree.
+func (s *Store) IngestCtx(ctx context.Context, fp string, up Upload) (rcpt *Receipt, err error) {
+	sp := obs.StartSpanFrom(ctx, s.obs, "ingest.merge", obs.KV("fp", short(fp)))
+	defer sp.End()
 	u, ok := s.lookup(fp)
 	if !ok {
 		return nil, s.reject("unknown_fingerprint", ErrUnknownFingerprint, "ingest %.12s", fp)

@@ -8,6 +8,7 @@ package interp
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -113,6 +114,12 @@ type Options struct {
 	// interpreter already maintains and recorded once at run end, so a
 	// nil Obs costs nothing (see BenchmarkObsDisabled).
 	Obs *obs.Observer
+	// Ctx, when it carries a span (see obs.ContextWithSpan), parents
+	// the run's "interp.run" span under it — the serving layer uses
+	// this to connect an interpreter run to the HTTP request that
+	// triggered it. A nil or span-less Ctx leaves spans rooted at Obs;
+	// the context is not consulted during execution.
+	Ctx context.Context
 }
 
 // Result is the outcome of a run.
@@ -180,7 +187,7 @@ func Run(p *cfg.Program, opts Options) (res *Result, err error) {
 			return nil, fmt.Errorf("interp: probe plan was built for a different program")
 		}
 	}
-	sp := opts.Obs.StartSpan("interp.run", obs.KV("instr", instrName(opts.Instrumentation)))
+	sp := obs.StartSpanFrom(opts.Ctx, opts.Obs, "interp.run", obs.KV("instr", instrName(opts.Instrumentation)))
 	defer sp.End()
 	m := newMachine(p, opts)
 	defer m.finishObs(sp)

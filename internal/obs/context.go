@@ -1,0 +1,43 @@
+package obs
+
+import "context"
+
+// Request-scoped tracing rides the standard context: the serving layer
+// opens a root span per request, stores it in the request context, and
+// every pipeline stage underneath (cache, compile, interpret, ingest)
+// parents its spans from the context instead of opening disconnected
+// roots. One request's whole span tree is then reconstructible from
+// the trace sink by following parent links up to the root, which
+// carries the request ID as an attribute.
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s. A nil span returns ctx
+// unchanged, so disabled observability adds no context allocation.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpanFrom opens a span parented to the context's span when one
+// is present, and otherwise a root span on o. It is the entry-point
+// idiom for pipeline stages that may run either inside a traced
+// request or standalone: pass the context through, and the span tree
+// stays connected without the stage knowing who called it.
+func StartSpanFrom(ctx context.Context, o *Observer, name string, attrs ...Attr) *Span {
+	if parent := SpanFromContext(ctx); parent != nil {
+		return parent.Child(name, attrs...)
+	}
+	return o.StartSpan(name, attrs...)
+}

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("x_seconds")
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("fresh histogram is not empty")
+	}
+	h.Observe(0.001)
+	h.Observe(0.001)
+	h.Observe(0.010)
+	h.Observe(0.100)
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got, want := h.Sum(), 0.112; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	// Quantiles land inside the right bucket: each estimate must be
+	// within one bucket's relative width (10^0.1) of the true value.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 0.001},
+		{0.5, 0.001},
+		{0.75, 0.010},
+		{1.0, 0.100},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/1.26 || got > tc.want*1.26 {
+			t.Errorf("Quantile(%v) = %v, want within one bucket of %v", tc.q, got, tc.want)
+		}
+	}
+	// Monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram("edge_seconds")
+	h.Observe(0)           // clamps to bucket 0
+	h.Observe(-1)          // negative clamps too
+	h.Observe(math.NaN())  // garbage must not panic or mis-index
+	h.Observe(1e9)         // overflow bucket
+	h.Observe(math.Inf(1)) // overflow bucket
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	// The overflow quantile reports the largest finite bound.
+	if got := h.Quantile(1.0); got != histBounds[numFiniteBuckets-1] {
+		t.Fatalf("overflow quantile = %v, want %v", got, histBounds[numFiniteBuckets-1])
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Fatal("out-of-range quantiles do not clamp")
+	}
+}
+
+func TestHistogramBucketIndexBoundaries(t *testing.T) {
+	// A value exactly at a bucket's upper bound belongs to that bucket
+	// (le semantics), and one just past it to the next.
+	for _, i := range []int{0, 1, 10, 40, numFiniteBuckets - 1} {
+		b := histBounds[i]
+		if got := bucketIndex(b); got > i {
+			t.Errorf("bucketIndex(bound[%d]) = %d, want <= %d", i, got, i)
+		}
+		if got := bucketIndex(b * 1.01); got != i+1 {
+			t.Errorf("bucketIndex(bound[%d]*1.01) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := bucketIndex(histMinBound / 2); got != 0 {
+		t.Errorf("tiny value bucket = %d, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram("a")
+	b := NewHistogram("b")
+	for i := 0; i < 100; i++ {
+		a.Observe(0.001)
+		b.Observe(0.1)
+	}
+	a.Merge(b)
+	if got := a.Count(); got != 200 {
+		t.Fatalf("merged Count = %d, want 200", got)
+	}
+	if got, want := a.Sum(), 100*0.001+100*0.1; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged Sum = %v, want %v", got, want)
+	}
+	// b is untouched.
+	if got := b.Count(); got != 100 {
+		t.Fatalf("merge source Count = %d, want 100", got)
+	}
+	// The median of the merged distribution sits at the boundary of the
+	// two modes; p25/p75 land in each mode's bucket.
+	if got := a.Quantile(0.25); got > 0.001*1.26 {
+		t.Errorf("merged p25 = %v, want ~0.001", got)
+	}
+	if got := a.Quantile(0.75); got < 0.1/1.26 {
+		t.Errorf("merged p75 = %v, want ~0.1", got)
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var o *Observer
+	h := o.Histogram("x")
+	if h != nil {
+		t.Fatal("nil observer returned a live histogram")
+	}
+	h.Observe(1)
+	h.Merge(NewHistogram("y"))
+	NewHistogram("y").Merge(h)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram is not inert")
+	}
+	if s := h.Summarize(); s != (Summary{}) {
+		t.Fatalf("nil Summarize = %+v", s)
+	}
+}
+
+func TestObserverHistogramRegistry(t *testing.T) {
+	o := New()
+	h1 := o.Histogram("lat_seconds")
+	h2 := o.Histogram("lat_seconds")
+	if h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+	h1.Observe(0.5)
+	snap := o.Snapshot()
+	if snap["lat_seconds_count"] != 1 {
+		t.Errorf("snapshot count = %v, want 1", snap["lat_seconds_count"])
+	}
+	if snap["lat_seconds_sum"] != 0.5 {
+		t.Errorf("snapshot sum = %v, want 0.5", snap["lat_seconds_sum"])
+	}
+	labeled := o.Histogram(Labels("req_seconds", "endpoint", "estimate"))
+	labeled.Observe(0.25)
+	snap = o.Snapshot()
+	if snap[`req_seconds_count{endpoint="estimate"}`] != 1 {
+		t.Errorf("labeled snapshot missing count: %v", snap)
+	}
+}
+
+// TestHistogramConcurrent is the 32-goroutine -race acceptance test:
+// concurrent Observe, Merge, and Quantile on shared histograms must be
+// data-race free and lose no observations.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 1000
+	)
+	o := New()
+	dst := o.Histogram("conc_seconds")
+	src := o.Histogram("src_seconds")
+	for i := 0; i < perG; i++ {
+		src.Observe(0.01)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0, 1: // writers
+				for i := 0; i < perG; i++ {
+					dst.Observe(float64(i%10) * 0.001)
+				}
+			case 2: // mergers
+				for i := 0; i < 8; i++ {
+					dst.Merge(src)
+				}
+			case 3: // readers
+				for i := 0; i < perG; i++ {
+					dst.Quantile(0.99)
+					dst.Count()
+					dst.Summarize()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	writers := int64(goroutines / 4 * 2)
+	mergers := int64(goroutines / 4)
+	want := writers*perG + mergers*8*perG
+	if got := dst.Count(); got != want {
+		t.Fatalf("Count after concurrent load = %d, want %d", got, want)
+	}
+	wantSum := float64(writers)*perG/10*(0+1+2+3+4+5+6+7+8+9)*0.001 + float64(mergers)*8*perG*0.01
+	if got := dst.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Fatalf("Sum after concurrent load = %v, want %v", got, wantSum)
+	}
+}
+
+// TestHistogramExpositionGolden pins the Prometheus exposition of a
+// histogram family: the TYPE header, the full cumulative le ladder,
+// label splicing, and the _sum/_count tail. Bucket bounds are part of
+// the wire format — changing the scheme must fail this test.
+func TestHistogramExpositionGolden(t *testing.T) {
+	o := newTestObserver(nil)
+	h := o.Histogram(Labels("req_seconds", "endpoint", "estimate"))
+	h.Observe(5e-7)  // bucket 0 (le 1e-06)
+	h.Observe(5e-7)  // bucket 0
+	h.Observe(0.002) // le 0.00251189
+	h.Observe(50)    // le 50.1187
+	h.Observe(500)   // +Inf overflow
+
+	exp := o.Exposition()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram\n",
+		"req_seconds_bucket{endpoint=\"estimate\",le=\"1e-06\"} 2\n",
+		// Cumulative: every bucket between 1µs and 2ms still reads 2.
+		"req_seconds_bucket{endpoint=\"estimate\",le=\"0.001\"} 2\n",
+		"req_seconds_bucket{endpoint=\"estimate\",le=\"0.00251189\"} 3\n",
+		"req_seconds_bucket{endpoint=\"estimate\",le=\"50.1187\"} 4\n",
+		"req_seconds_bucket{endpoint=\"estimate\",le=\"+Inf\"} 5\n",
+		"req_seconds_sum{endpoint=\"estimate\"} 550.002001\n",
+		"req_seconds_count{endpoint=\"estimate\"} 5\n",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, exp)
+		}
+	}
+	// The ladder is complete: 80 finite bounds + overflow.
+	if got := strings.Count(exp, "req_seconds_bucket{"); got != numFiniteBuckets+1 {
+		t.Errorf("exposition has %d bucket series, want %d", got, numFiniteBuckets+1)
+	}
+	// Histogram families must not also appear as scalar series.
+	if strings.Contains(exp, "# TYPE req_seconds counter") || strings.Contains(exp, "# TYPE req_seconds gauge") {
+		t.Error("histogram family re-typed as scalar")
+	}
+}
+
+func TestSpanCapture(t *testing.T) {
+	o := newTestObserver(nil) // no sink: capture must work regardless
+	root := o.StartSpan("server.profile", KV("req_id", "abc"))
+	cap := root.Capture()
+	comp := root.Child("compile")
+	comp.Child("compile.parse").End()
+	comp.End()
+	root.Child("interp.run").End()
+	root.End()
+
+	events := cap.Events()
+	wantNames := []string{"compile.parse", "compile", "interp.run", "server.profile"}
+	if len(events) != len(wantNames) {
+		t.Fatalf("captured %d events, want %d", len(events), len(wantNames))
+	}
+	byName := map[string]Event{}
+	for i, e := range events {
+		if e.Name != wantNames[i] {
+			t.Errorf("event %d = %q, want %q", i, e.Name, wantNames[i])
+		}
+		byName[e.Name] = e
+	}
+	if byName["compile"].Parent != byName["server.profile"].ID {
+		t.Error("captured tree lost parentage")
+	}
+	if byName["server.profile"].Attrs["req_id"] != "abc" {
+		t.Error("captured root lost attrs")
+	}
+	// A span tree without capture adds nothing.
+	plain := o.StartSpan("other")
+	plain.Child("x").End()
+	plain.End()
+	if got := len(cap.Events()); got != len(wantNames) {
+		t.Fatalf("unrelated spans leaked into capture: %d events", got)
+	}
+	// Nil safety.
+	var nilSpan *Span
+	if nilSpan.Capture() != nil {
+		t.Fatal("nil span capture not nil")
+	}
+	var nilCap *SpanCapture
+	if nilCap.Events() != nil {
+		t.Fatal("nil capture events not nil")
+	}
+}
+
+func TestContextSpanPropagation(t *testing.T) {
+	o := newTestObserver(nil)
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	root := o.StartSpan("root")
+	ctx = ContextWithSpan(ctx, root)
+	if SpanFromContext(ctx) != root {
+		t.Fatal("context lost the span")
+	}
+	child := StartSpanFrom(ctx, nil, "child")
+	if child == nil {
+		t.Fatal("StartSpanFrom ignored the context span")
+	}
+	child.End()
+	root.End()
+	// Without a context span it falls back to the observer root...
+	solo := StartSpanFrom(context.Background(), o, "solo")
+	if solo == nil {
+		t.Fatal("StartSpanFrom ignored the observer")
+	}
+	solo.End()
+	// ...and with neither, stays nil (zero-cost disabled mode).
+	if sp := StartSpanFrom(context.Background(), nil, "none"); sp != nil {
+		t.Fatal("StartSpanFrom invented a span")
+	}
+	// A nil span never enters the context.
+	if ctx2 := ContextWithSpan(context.Background(), nil); SpanFromContext(ctx2) != nil {
+		t.Fatal("nil span stored in context")
+	}
+}

@@ -29,14 +29,15 @@ import (
 // value is not usable; construct with New. A nil *Observer is valid
 // everywhere and disables all recording.
 type Observer struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	spans    map[string]*spanStat
-	sink     EventSink
-	now      func() time.Time
-	start    time.Time
-	seq      atomic.Int64
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	spans      map[string]*spanStat
+	sink       EventSink
+	now        func() time.Time
+	start      time.Time
+	seq        atomic.Int64
 }
 
 // spanStat aggregates completed spans of one name for the exposition.
@@ -63,10 +64,11 @@ func WithClock(now func() time.Time) Option {
 // New creates an Observer.
 func New(opts ...Option) *Observer {
 	o := &Observer{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		spans:    make(map[string]*spanStat),
-		now:      time.Now,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		spans:      make(map[string]*spanStat),
+		now:        time.Now,
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -202,10 +204,13 @@ func Labels(name string, pairs ...string) string {
 
 // --- exposition -------------------------------------------------------------
 
-// WriteProm writes every counter, gauge, and span aggregate in the
-// Prometheus text exposition format, sorted by series name for
+// WriteProm writes every counter, gauge, histogram, and span aggregate
+// in the Prometheus text exposition format, sorted by series name for
 // deterministic output. Span aggregates appear as span_count{span="x"}
-// and span_seconds_total{span="x"}.
+// and span_seconds_total{span="x"}; histograms follow the scalar
+// series as cumulative <name>_bucket{le=…} ladders with <name>_sum and
+// <name>_count, grouped under one "# TYPE <name> histogram" header per
+// family.
 func (o *Observer) WriteProm(w io.Writer) error {
 	if o == nil {
 		return nil
@@ -233,6 +238,10 @@ func (o *Observer) WriteProm(w io.Writer) error {
 			formatFloat(st.total.Seconds()),
 		})
 	}
+	hists := make([]*Histogram, 0, len(o.histograms))
+	for _, h := range o.histograms {
+		hists = append(hists, h)
+	}
 	o.mu.Unlock()
 
 	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
@@ -249,6 +258,34 @@ func (o *Observer) WriteProm(w io.Writer) error {
 			lastBase = base
 		}
 		if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.val); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	lastBase = ""
+	for _, h := range hists {
+		base := h.name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base != lastBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+			lastBase = base
+		}
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(h.name, histLabels[i]), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(h.name, "_sum"), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(h.name, "_count"), cum); err != nil {
 			return err
 		}
 	}
@@ -282,7 +319,7 @@ func (o *Observer) Snapshot() map[string]float64 {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	m := make(map[string]float64, len(o.counters)+len(o.gauges)+2*len(o.spans))
+	m := make(map[string]float64, len(o.counters)+len(o.gauges)+2*len(o.spans)+2*len(o.histograms))
 	for name, c := range o.counters {
 		m[name] = float64(c.Value())
 	}
@@ -293,35 +330,45 @@ func (o *Observer) Snapshot() map[string]float64 {
 		m[Labels("span_count", "span", name)] = float64(st.count)
 		m[Labels("span_seconds_total", "span", name)] = st.total.Seconds()
 	}
+	for name, h := range o.histograms {
+		m[seriesName(name, "_count")] = float64(h.Count())
+		m[seriesName(name, "_sum")] = h.Sum()
+	}
 	return m
 }
 
-// Flush emits the current value of every counter and gauge to the sink
-// (spans emit themselves as they end) and is a no-op without a sink.
-// Commands call it once before rendering a trace so the JSONL stream
-// carries final totals alongside the span tree.
+// Flush emits the current value of every counter, gauge, and histogram
+// digest to the sink (spans emit themselves as they end) and is a
+// no-op without a sink. Commands call it once before rendering a trace
+// so the JSONL stream carries final totals alongside the span tree.
 func (o *Observer) Flush() {
 	if o == nil || o.sink == nil {
 		return
 	}
 	type kv struct {
-		name string
-		typ  string
-		val  float64
+		name  string
+		typ   string
+		val   float64
+		attrs map[string]any
 	}
 	o.mu.Lock()
-	all := make([]kv, 0, len(o.counters)+len(o.gauges))
+	all := make([]kv, 0, len(o.counters)+len(o.gauges)+len(o.histograms))
 	for name, c := range o.counters {
-		all = append(all, kv{name, "counter", float64(c.Value())})
+		all = append(all, kv{name: name, typ: "counter", val: float64(c.Value())})
 	}
 	for name, g := range o.gauges {
-		all = append(all, kv{name, "gauge", g.Value()})
+		all = append(all, kv{name: name, typ: "gauge", val: g.Value()})
+	}
+	for name, h := range o.histograms {
+		s := h.Summarize()
+		all = append(all, kv{name: name, typ: "histogram", val: float64(s.Count),
+			attrs: map[string]any{"sum": s.Sum, "p50": s.P50, "p90": s.P90, "p99": s.P99, "p999": s.P999}})
 	}
 	o.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
 	now := o.sinceStartUS(o.now())
 	for _, s := range all {
-		o.sink.Emit(Event{Type: s.typ, Name: s.name, StartUS: now, Value: s.val})
+		o.sink.Emit(Event{Type: s.typ, Name: s.name, StartUS: now, Value: s.val, Attrs: s.attrs})
 	}
 }
 

@@ -285,6 +285,23 @@ func BenchmarkSpanStartEnd(b *testing.B) {
 	}
 }
 
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("x_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var o *Observer
+	h := o.Histogram("x_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
 func TestGaugeAdd(t *testing.T) {
 	o := New()
 	g := o.Gauge("inflight")

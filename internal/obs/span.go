@@ -13,13 +13,14 @@ import (
 // ignores all operations. End must be called exactly once per non-nil
 // span (usually deferred); spans are not shared between goroutines.
 type Span struct {
-	obs    *Observer
-	name   string
-	id     int64
-	parent int64
-	start  time.Time
-	attrs  map[string]any
-	ended  bool
+	obs     *Observer
+	name    string
+	id      int64
+	parent  int64
+	start   time.Time
+	attrs   map[string]any
+	ended   bool
+	capture *SpanCapture
 }
 
 // StartSpan opens a root span. Returns nil on a nil Observer.
@@ -27,24 +28,26 @@ func (o *Observer) StartSpan(name string, attrs ...Attr) *Span {
 	if o == nil {
 		return nil
 	}
-	return o.newSpan(name, 0, attrs)
+	return o.newSpan(name, 0, nil, attrs)
 }
 
-// Child opens a sub-span of s. Returns nil on a nil span.
+// Child opens a sub-span of s. Returns nil on a nil span. The child
+// inherits s's capture, so a captured root collects its whole subtree.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.obs.newSpan(name, s.id, attrs)
+	return s.obs.newSpan(name, s.id, s.capture, attrs)
 }
 
-func (o *Observer) newSpan(name string, parent int64, attrs []Attr) *Span {
+func (o *Observer) newSpan(name string, parent int64, capture *SpanCapture, attrs []Attr) *Span {
 	s := &Span{
-		obs:    o,
-		name:   name,
-		id:     o.seq.Add(1),
-		parent: parent,
-		start:  o.now(),
+		obs:     o,
+		name:    name,
+		id:      o.seq.Add(1),
+		parent:  parent,
+		capture: capture,
+		start:   o.now(),
 	}
 	if len(attrs) > 0 {
 		s.attrs = make(map[string]any, len(attrs))
@@ -90,8 +93,8 @@ func (s *Span) End() {
 	sink := o.sink
 	o.mu.Unlock()
 
-	if sink != nil {
-		sink.Emit(Event{
+	if sink != nil || s.capture != nil {
+		e := Event{
 			Type:    "span",
 			Name:    s.name,
 			ID:      s.id,
@@ -99,8 +102,50 @@ func (s *Span) End() {
 			StartUS: o.sinceStartUS(s.start),
 			DurUS:   dur.Microseconds(),
 			Attrs:   s.attrs,
-		})
+		}
+		if sink != nil {
+			sink.Emit(e)
+		}
+		s.capture.add(e)
 	}
+}
+
+// SpanCapture collects the span events of one subtree in memory. Built
+// by Span.Capture; the serving layer uses it to retain the slowest
+// requests' span trees without requiring a sink to be configured.
+type SpanCapture struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Capture turns on subtree capture rooted at s: s's own end event and
+// every descendant's (spans created via Child after this call) are
+// retained in the returned capture. Returns nil on a nil span.
+func (s *Span) Capture() *SpanCapture {
+	if s == nil {
+		return nil
+	}
+	s.capture = &SpanCapture{}
+	return s.capture
+}
+
+func (c *SpanCapture) add(e Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns the captured events in end order (nil on nil).
+func (c *SpanCapture) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
 }
 
 // Attr is one span annotation. Values must be JSON-encodable.

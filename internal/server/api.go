@@ -98,7 +98,7 @@ func (s *Server) handleEstimate(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := s.compileCached(name, src)
+	c, err := s.compileCached(r.Context(), name, src)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +247,7 @@ func (s *Server) handleProfile(r *http.Request) (any, error) {
 		return nil, errBadRequest(`"instrumentation" must be "full" or "sparse" (got %q)`, instr)
 	}
 
-	c, err := s.compileCached(name, src)
+	c, err := s.compileCached(r.Context(), name, src)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +257,8 @@ func (s *Server) handleProfile(r *http.Request) (any, error) {
 	if req.MaxSteps > 0 && req.MaxSteps < maxSteps {
 		maxSteps = req.MaxSteps
 	}
-	opts := staticest.RunOptions{Args: args, Stdin: stdin, MaxSteps: maxSteps, Obs: s.obs}
+	opts := staticest.RunOptions{Args: args, Stdin: stdin, MaxSteps: maxSteps,
+		Obs: s.obs, Ctx: r.Context()}
 	resp := &ProfileResponse{
 		Program:         u.Name,
 		Fingerprint:     c.fingerprint,
@@ -452,7 +453,7 @@ func (s *Server) handleOptimize(r *http.Request) (any, error) {
 		want[rep] = true
 	}
 
-	c, err := s.compileCached(name, src)
+	c, err := s.compileCached(r.Context(), name, src)
 	if err != nil {
 		return nil, err
 	}

@@ -7,12 +7,23 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"encoding/json"
 
 	"staticest/internal/obs"
 	"staticest/internal/server"
 )
+
+// reportPercentiles publishes a latency histogram's tail as custom
+// benchmark metrics; scripts/bench.sh carries them into
+// BENCH_serve.json alongside ns/op, so the trajectory tracks tail
+// latency and not just the mean.
+func reportPercentiles(b *testing.B, h *obs.Histogram) {
+	b.ReportMetric(h.Quantile(0.50)*1e9, "p50-ns")
+	b.ReportMetric(h.Quantile(0.99)*1e9, "p99-ns")
+	b.ReportMetric(h.Quantile(0.999)*1e9, "p999-ns")
+}
 
 // BenchmarkServeEstimate measures the serving latency of the cache-hit
 // path — the steady state of a long-lived daemon: the unit and its
@@ -40,12 +51,16 @@ func BenchmarkServeEstimate(b *testing.B) {
 		}
 	}
 	do() // warm the cache: the measured loop is pure cache hits
+	lat := obs.NewHistogram("estimate_seconds")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		start := time.Now()
 		do()
+		lat.ObserveSince(start)
 	}
 	b.StopTimer()
+	reportPercentiles(b, lat)
 	o := s.Observer()
 	if miss := o.Counter("server_cache_miss").Value(); miss != 1 {
 		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
@@ -86,12 +101,16 @@ func BenchmarkIngest(b *testing.B) {
 		}
 	}
 	do("warm") // registers the unit; the measured loop never compiles
+	lat := obs.NewHistogram("ingest_seconds")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		start := time.Now()
 		do(fmt.Sprintf("b%d", i))
+		lat.ObserveSince(start)
 	}
 	b.StopTimer()
+	reportPercentiles(b, lat)
 	if miss := s.Observer().Counter("server_cache_miss").Value(); miss != 1 {
 		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
 	}

@@ -3,9 +3,11 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"staticest"
 	"staticest/internal/core"
+	"staticest/internal/obs"
 	"staticest/internal/probes"
 )
 
@@ -50,6 +52,15 @@ type unitCache struct {
 	lru     list.List // front = most recently used; values are *compiled
 	byKey   map[string]*list.Element
 	flights map[string]*flight
+
+	// hitSeconds and compileSeconds split get's latency distribution by
+	// path: a cache hit is a map lookup (microseconds), a miss pays for
+	// a compile (milliseconds) — one merged histogram would hide the
+	// miss tail entirely. Flight waiters observe into compileSeconds:
+	// they did not compile, but their latency is compile latency.
+	// Nil histograms (tests building a bare cache) record nothing.
+	hitSeconds     *obs.Histogram
+	compileSeconds *obs.Histogram
 }
 
 // flight is one in-progress compile; waiters block on done.
@@ -75,16 +86,19 @@ func newUnitCache(max int) *unitCache {
 // (the cache-miss leader); waiters deduplicated onto another caller's
 // in-flight compile report a hit, because no additional work happened.
 func (uc *unitCache) get(key string, compile func() (*staticest.Unit, error)) (*compiled, bool, error) {
+	start := time.Now()
 	uc.mu.Lock()
 	if el, ok := uc.byKey[key]; ok {
 		uc.lru.MoveToFront(el)
 		c := el.Value.(*compiled)
 		uc.mu.Unlock()
+		uc.hitSeconds.ObserveSince(start)
 		return c, false, nil
 	}
 	if f, ok := uc.flights[key]; ok {
 		uc.mu.Unlock()
 		<-f.done
+		uc.compileSeconds.ObserveSince(start)
 		return f.c, false, f.err
 	}
 	f := &flight{done: make(chan struct{})}
@@ -104,6 +118,7 @@ func (uc *unitCache) get(key string, compile func() (*staticest.Unit, error)) (*
 	}
 	uc.mu.Unlock()
 	close(f.done)
+	uc.compileSeconds.ObserveSince(start)
 	return f.c, true, err
 }
 

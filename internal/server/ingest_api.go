@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
 
@@ -54,13 +55,13 @@ type IngestResponse struct {
 // resolveIngestUnit maps an ingest request to a registered live unit,
 // registering it from inline source, suite name, or the compile cache
 // as needed, and returns its fingerprint.
-func (s *Server) resolveIngestUnit(req *IngestRequest) (string, error) {
+func (s *Server) resolveIngestUnit(ctx context.Context, req *IngestRequest) (string, error) {
 	if req.Program != "" || req.Source != "" {
 		name, src, _, err := req.resolve()
 		if err != nil {
 			return "", err
 		}
-		c, err := s.compileCached(name, src)
+		c, err := s.compileCached(ctx, name, src)
 		if err != nil {
 			return "", err
 		}
@@ -107,7 +108,7 @@ func (s *Server) handleIngest(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	fp, err := s.resolveIngestUnit(&req)
+	fp, err := s.resolveIngestUnit(r.Context(), &req)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +116,8 @@ func (s *Server) handleIngest(r *http.Request) (any, error) {
 	for _, e := range req.Escapes {
 		vec.Escapes = append(vec.Escapes, probes.Escape{Func: e.Func, Block: e.Block})
 	}
-	rcpt, err := s.ingest.Ingest(fp, ingest.Upload{ID: req.UploadID, Label: req.Label, Vector: vec})
+	rcpt, err := s.ingest.IngestCtx(r.Context(), fp,
+		ingest.Upload{ID: req.UploadID, Label: req.Label, Vector: vec})
 	switch {
 	case err == nil:
 	case errors.Is(err, ingest.ErrUnknownFingerprint):

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -109,7 +110,7 @@ func TestCacheErrorNotCached(t *testing.T) {
 	s := New(Config{Obs: obs.New()})
 	bad := []byte("int main(void { return 0; }")
 	for i := 0; i < 2; i++ {
-		if _, err := s.compileCached("bad.c", bad); err == nil {
+		if _, err := s.compileCached(context.Background(), "bad.c", bad); err == nil {
 			t.Fatal("compile of invalid source succeeded")
 		}
 	}

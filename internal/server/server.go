@@ -12,10 +12,17 @@
 // panic-to-500 recovery layer, a wall-clock timeout, a request-body
 // size cap, and a bounded worker semaphore sized from the same
 // parallelism knob as the evaluation harness (eval.Parallelism). The
-// server always carries an observability domain — per-endpoint latency
-// spans, server_cache_hit / server_cache_miss / server_inflight series,
-// request and error counters — and mounts its Prometheus-style
-// exposition (/metrics) and net/http/pprof (/debug/pprof/) on the same
+// server always carries an observability domain: per-endpoint RED
+// instrumentation (request/response counters by status class, latency
+// histograms), cache-hit vs compile-path latency histograms,
+// server_cache_hit / server_cache_miss / server_inflight series, and a
+// root span per request carrying a request ID (accepted from
+// traceparent or X-Request-ID, echoed back, and propagated via the
+// request context through compile, interpretation, and ingest so one
+// request is one span tree in the trace). It mounts its
+// Prometheus-style exposition (/metrics), an ops snapshot
+// (/v1/debug/status), the span trees of the slowest requests
+// (/v1/debug/slow), and net/http/pprof (/debug/pprof/) on the same
 // mux. Serve drains in-flight requests before returning when its
 // context is cancelled (cmd/serve wires that to SIGTERM/SIGINT).
 package server
@@ -64,6 +71,14 @@ type Config struct {
 	// MaxSteps bounds each served interpreter run's block executions
 	// (default 50 million; the interpreter's own default is 200M).
 	MaxSteps int64
+	// SlowRingSize bounds the ring of slowest requests whose span trees
+	// are retained for GET /v1/debug/slow (default 16).
+	SlowRingSize int
+	// RuntimeSampleInterval paces the background runtime collector that
+	// refreshes the runtime_* gauges while Serve runs; /metrics and
+	// /v1/debug/status also refresh them synchronously per scrape
+	// (default 10s).
+	RuntimeSampleInterval time.Duration
 	// Obs is the observability domain. The server requires one — its
 	// cache counters and /metrics exposition are part of the API — so
 	// a nil Obs means "create a private Observer", not "disable".
@@ -92,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 50_000_000
 	}
+	if c.SlowRingSize <= 0 {
+		c.SlowRingSize = 16
+	}
+	if c.RuntimeSampleInterval <= 0 {
+		c.RuntimeSampleInterval = 10 * time.Second
+	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
@@ -118,6 +139,13 @@ type Server struct {
 	misses   *obs.Counter
 	inflight *obs.Gauge
 	shed     *obs.Counter
+
+	// endpoints lists the API endpoint names in registration order;
+	// /v1/debug/status walks it to summarize the per-endpoint latency
+	// histograms. Written only during New.
+	endpoints []string
+	slow      *slowRing
+	started   time.Time
 }
 
 // New builds a Server and its routing table.
@@ -134,7 +162,12 @@ func New(cfg Config) *Server {
 		misses:   cfg.Obs.Counter("server_cache_miss"),
 		inflight: cfg.Obs.Gauge("server_inflight"),
 		shed:     cfg.Obs.Counter("server_shed_total"),
+		slow:     newSlowRing(cfg.SlowRingSize),
+		started:  time.Now(),
 	}
+	s.cache.hitSeconds = cfg.Obs.Histogram("server_cache_hit_seconds")
+	s.cache.compileSeconds = cfg.Obs.Histogram("server_compile_seconds")
+	s.sampleRuntime()
 
 	s.mux.Handle("POST /v1/estimate", s.api("estimate", s.handleEstimate))
 	s.mux.Handle("POST /v1/profile", s.api("profile", s.handleProfile))
@@ -143,12 +176,19 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/profiles/ingest", s.api("ingest", s.handleIngest))
 	s.mux.Handle("GET /v1/profiles/stats", s.api("stats", s.handleStats))
 
+	// Debug surfaces bypass the API middleware on purpose: an operator
+	// diagnosing a saturated server must not queue behind the saturated
+	// semaphore, and scrapes should not pollute the request metrics.
+	s.mux.HandleFunc("GET /v1/debug/status", s.handleDebugStatus)
+	s.mux.HandleFunc("GET /v1/debug/slow", s.handleDebugSlow)
+
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"cached_units\":%d,\"live_units\":%d}\n",
 			s.cache.len(), s.ingest.Len())
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.sampleRuntime() // scrape-fresh runtime_* gauges
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.obs.WriteProm(w)
 	})
@@ -203,21 +243,61 @@ type apiHandler func(r *http.Request) (any, error)
 
 // api wraps an endpoint handler in the middleware stack, innermost
 // first: JSON encoding and error mapping, panic-to-500 recovery with
-// the inflight gauge and per-endpoint spans and counters around it,
-// the worker semaphore, and the outermost wall-clock timeout
-// (http.TimeoutHandler replies 503 and discards the late handler's
-// writes; pipeline work is bounded separately by Config.MaxSteps).
+// the inflight gauge and per-endpoint RED instrumentation around it
+// (request counters, response counters by status class, a latency
+// histogram), the worker semaphore, and the outermost wall-clock
+// timeout (http.TimeoutHandler replies 503 and discards the late
+// handler's writes; pipeline work is bounded separately by
+// Config.MaxSteps).
+//
+// Every request runs under a root span named "server.<endpoint>"
+// carrying the request ID (accepted from traceparent / X-Request-ID or
+// generated, and echoed back as X-Request-ID). The span is stored in
+// the request context, so every pipeline stage underneath — compile,
+// interpreter run, ingest merge — parents from it and the whole
+// request is one tree in the trace. The tree is also captured in
+// memory and, when the request ranks among the slowest seen, retained
+// for GET /v1/debug/slow.
 func (s *Server) api(name string, h apiHandler) http.Handler {
+	s.endpoints = append(s.endpoints, name)
 	requests := s.obs.Counter(obs.Labels("server_requests_total", "endpoint", name))
 	errorsC := s.obs.Counter(obs.Labels("server_errors_total", "endpoint", name))
 	panics := s.obs.Counter("server_panics_total")
+	durations := s.obs.Histogram(obs.Labels("server_request_seconds", "endpoint", name))
+	var classes [6]*obs.Counter
+	for c := 2; c <= 5; c++ {
+		classes[c] = s.obs.Counter(obs.Labels("server_responses_total",
+			"endpoint", name, "class", fmt.Sprintf("%dxx", c)))
+	}
 
 	inner := func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		w = sw
+
 		requests.Add(1)
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		sp := s.obs.StartSpan("server." + name)
-		defer sp.End()
+		sp := s.obs.StartSpan("server."+name, obs.KV("req_id", reqID))
+		capture := sp.Capture()
+		defer func() {
+			sp.End()
+			dur := time.Since(start)
+			durations.Observe(dur.Seconds())
+			if c := sw.status / 100; c >= 2 && c <= 5 {
+				classes[c].Add(1)
+			}
+			s.slow.offer(slowEntry{
+				ReqID:    reqID,
+				Endpoint: name,
+				Status:   sw.status,
+				DurUS:    dur.Microseconds(),
+				capture:  capture,
+			})
+		}()
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 
 		// Bound concurrent pipeline work. A request never queues
 		// indefinitely: when the semaphore is saturated it waits at most
@@ -306,13 +386,16 @@ func decode(r *http.Request, v any) error {
 
 // compileCached resolves a source through the unit cache, bumping the
 // hit/miss counters. name labels ad-hoc sources (default "prog.c").
-func (s *Server) compileCached(name string, src []byte) (*compiled, error) {
+// ctx carries the request's span: a cache-miss compile attaches to the
+// tree of the request that triggered it (the singleflight leader's,
+// when waiters deduplicate onto an in-flight compile).
+func (s *Server) compileCached(ctx context.Context, name string, src []byte) (*compiled, error) {
 	if name == "" {
 		name = "prog.c"
 	}
 	key := staticest.Fingerprint(src)
 	c, missed, err := s.cache.get(key, func() (*staticest.Unit, error) {
-		return staticest.CompileObs(name, src, s.obs)
+		return staticest.CompileCtx(ctx, name, src, s.obs)
 	})
 	if missed {
 		s.misses.Add(1)
@@ -333,6 +416,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	go s.runtimeCollector(ctx)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {

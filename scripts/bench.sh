@@ -4,7 +4,9 @@
 # committed periodically so performance can be tracked across history:
 #
 #   BENCH_interp.json  interpreter, probe-profiling, observability
-#   BENCH_serve.json   serving paths (estimate cache hits, fleet ingest)
+#   BENCH_serve.json   serving paths (estimate cache hits, fleet ingest),
+#                      including p50/p99/p999 tail latency reported by
+#                      the benchmarks as custom p*-ns metrics
 #
 #   scripts/bench.sh                  # smoke run (-benchtime 1x)
 #   BENCH_TIME=2s scripts/bench.sh    # steadier numbers
@@ -52,7 +54,7 @@ emit() {
 	fi
 }
 
-interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd'}
+interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|HistogramObserve'}
 serve_filter=${BENCH_SERVE_FILTER:-'ServeEstimate|^BenchmarkIngest$'}
 
 emit "$(bench_json "$interp_filter" . ./internal/obs)" "${BENCH_OUT:-BENCH_interp.json}"

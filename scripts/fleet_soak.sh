@@ -2,6 +2,9 @@
 # Fleet-soak smoke: boots a serve instance, points cmd/fleet at it, and
 # fails unless every upload lands and the live aggregate's decision
 # agreement converges to the offline eval values (fleet's -tol check).
+# After the soak, /metrics is scraped and the run fails if any expected
+# metric family (per-endpoint latency histograms, shed/reject counters,
+# runtime gauges) is missing or any exposition line is unparseable.
 # The server is then shut down gracefully, so the drain path runs too.
 #
 #   scripts/fleet_soak.sh                 # 200 uploads of compress
@@ -40,6 +43,45 @@ done
 "$bin/fleet" -addr "$addr" -program "$program" -n "$n" -j 8
 
 echo "fleet_soak: final health: $(curl -s "http://$addr/healthz")" >&2
+
+# Post-soak observability check: every family the ops surface promises
+# must be present after real traffic, and every non-comment line must
+# parse as "<series> <value>".
+metrics=$(mktemp)
+curl -sf "http://$addr/metrics" >"$metrics" || {
+	echo "fleet_soak: /metrics scrape failed" >&2
+	exit 1
+}
+for family in \
+	'# TYPE server_request_seconds histogram' \
+	'server_request_seconds_bucket{endpoint="ingest",le="+Inf"}' \
+	'server_request_seconds_count{endpoint="ingest"}' \
+	'server_responses_total{endpoint="ingest",class="2xx"}' \
+	'# TYPE server_compile_seconds histogram' \
+	'# TYPE server_cache_hit_seconds histogram' \
+	'server_shed_total' \
+	'ingest_uploads_total' \
+	'ingest_rejects_total{reason="duplicate"}' \
+	'runtime_goroutines' \
+	'runtime_heap_alloc_bytes' \
+	'runtime_gc_pause_seconds_total' \
+	; do
+	grep -qF "$family" "$metrics" || {
+		echo "fleet_soak: /metrics missing expected family: $family" >&2
+		rm -f "$metrics"
+		exit 1
+	}
+done
+bad=$(grep -v '^#' "$metrics" | awk 'NF != 0 && NF != 2 { print; exit }')
+[ -z "$bad" ] || {
+	echo "fleet_soak: unparseable /metrics line: $bad" >&2
+	rm -f "$metrics"
+	exit 1
+}
+echo "fleet_soak: /metrics families OK ($(grep -c '^# TYPE' "$metrics") families)" >&2
+rm -f "$metrics"
+
+echo "fleet_soak: status: $(curl -s "http://$addr/v1/debug/status" | head -c 200)..." >&2
 
 # Graceful drain: SIGTERM must exit cleanly.
 kill -TERM "$serve_pid"

@@ -16,6 +16,7 @@
 package staticest
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -72,7 +73,15 @@ func Compile(name string, src []byte) (*Unit, error) {
 // cfg, callgraph) runs under a timed span, and the unit remembers the
 // observer so later Run/Estimate/PlanProbes calls report to it too.
 func CompileObs(name string, src []byte, o *obs.Observer) (*Unit, error) {
-	sp := o.StartSpan("compile", obs.KV("prog", name))
+	return CompileCtx(context.Background(), name, src, o)
+}
+
+// CompileCtx is CompileObs with request-scoped tracing: when ctx
+// carries a span (the serving layer's per-request root), the compile
+// span and its phase children attach under it, so one request's whole
+// span tree — server handler, compile, interpreter run — is connected.
+func CompileCtx(ctx context.Context, name string, src []byte, o *obs.Observer) (*Unit, error) {
+	sp := obs.StartSpanFrom(ctx, o, "compile", obs.KV("prog", name))
 	defer sp.End()
 
 	phase := sp.Child("compile.parse")
