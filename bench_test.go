@@ -368,6 +368,44 @@ func BenchmarkInterpretCompress(b *testing.B) {
 	b.ReportMetric(float64(steps), "blocks/run")
 }
 
+// BenchmarkReuseTrace measures the memory-trace overhead on compress:
+// "off" is a run with tracing disabled — the default path, whose only
+// cost is a nil-map test per candidate access, pinned at parity with
+// BenchmarkInterpretCompress — and "on" pays for trace collection plus
+// the O(n log n) stack-distance measurement.
+func BenchmarkReuseTrace(b *testing.B) {
+	prog, err := suite.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := prog.Inputs[0]
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		tab := u.ReuseTable()
+		b.ReportAllocs()
+		var accesses float64
+		for i := 0; i < b.N; i++ {
+			p, _, err := u.MeasureReuse(tab, staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			accesses = p.Accesses()
+		}
+		b.ReportMetric(accesses, "accesses/run")
+	})
+}
+
 // BenchmarkProbeProfiling compares full instrumentation against sparse
 // probe profiling on the suite's largest program (xlisp): wall time per
 // run plus the number of counter increments each mode performs. The

@@ -10,9 +10,16 @@
 // the profile. Arguments after file.c become the program's argv; -in
 // feeds its stdin.
 //
+// With -reuse the command prints static memory reuse-distance
+// profiles instead: for each named block-frequency estimator it
+// derives per-reference reuse distances from loop structure and array
+// footprints (see internal/reuse) and summarizes the hottest
+// references.
+//
 // Usage:
 //
 //	estimate [-intra loop|smart|markov] [-inter direct|markov] [-func name] file.c
+//	estimate -reuse loop,smart,markov file.c
 //	estimate -explain [-in input-file] [-steps n] [-trace file|-] file.c [args...]
 package main
 
@@ -34,6 +41,7 @@ func main() {
 	fnName := flag.String("func", "", "limit block output to one function")
 	top := flag.Int("top", 10, "how many entries to print per ranking")
 	explain := flag.Bool("explain", false, "profile the program and print per-heuristic attribution")
+	reuseList := flag.String("reuse", "", "print static reuse-distance profiles for these estimators (comma-separated: loop, smart, markov)")
 	inFile := flag.String("in", "", "file fed to the program's stdin (-explain only)")
 	maxSteps := flag.Int64("steps", 0, "block-execution budget for -explain (0 = default)")
 	cutoff := flag.Float64("cutoff", 0.05, "weight-matching cutoff for -explain scores")
@@ -57,15 +65,22 @@ func main() {
 	if err := cliutil.CheckEnum("inter", *inter, "call_site", "direct", "all_rec", "all_rec2", "markov"); err != nil {
 		usage(err)
 	}
+	reuseKinds, err := cliutil.CheckEnums("reuse", *reuseList, "loop", "smart", "markov")
+	if err != nil {
+		usage(err)
+	}
 
 	o, closeObs, err := cliutil.Observability(*trace, false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
 		os.Exit(1)
 	}
-	if *explain {
+	switch {
+	case *explain:
 		err = runExplain(flag.Arg(0), flag.Args()[1:], *inFile, *maxSteps, *cutoff, *top, o)
-	} else {
+	case len(reuseKinds) > 0:
+		err = runReuse(flag.Arg(0), reuseKinds, *top, o)
+	default:
 		err = run(flag.Arg(0), *intra, *inter, *fnName, *top, o)
 	}
 	closeObs()
@@ -99,6 +114,57 @@ func runExplain(path string, args []string, inFile string, maxSteps int64, cutof
 	}
 	rep := eval.Explain(u, u.Estimate(), res.Profile, cutoff)
 	fmt.Println(rep.Render(top))
+	return nil
+}
+
+// runReuse prints the static reuse-distance profile each requested
+// estimator derives for the program's memory references.
+func runReuse(path string, kinds []string, top int, o *staticest.Observer) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	u, err := staticest.CompileObs(path, src, o)
+	if err != nil {
+		return err
+	}
+	tab := u.ReuseTable()
+	if len(tab.Refs) == 0 {
+		fmt.Println("no traceable memory references")
+		return nil
+	}
+	for _, kind := range kinds {
+		p, err := u.EstimateReuse(tab, kind)
+		if err != nil {
+			return err
+		}
+		total := p.Accesses()
+		fmt.Printf("== reuse-distance estimate (%s): %d refs, %.0f accesses ==\n",
+			kind, len(tab.Refs), total)
+		if total > 0 {
+			fmt.Printf("  cold %.1f%%  median distance %.0f  p90 %.0f\n",
+				100*p.Total.Cold()/total, p.Total.Quantile(0.5), p.Total.Quantile(0.9))
+		}
+		type refRow struct {
+			i int
+			v float64
+		}
+		rows := make([]refRow, len(tab.Refs))
+		for i := range tab.Refs {
+			rows[i] = refRow{i, p.PerRef[i].Total()}
+		}
+		sort.SliceStable(rows, func(a, b int) bool { return rows[a].v > rows[b].v })
+		for i, r := range rows {
+			if i >= top || r.v <= 0 {
+				break
+			}
+			ref := &tab.Refs[r.i]
+			h := &p.PerRef[r.i]
+			fmt.Printf("  %-32s accesses %10.0f  footprint %6.0f  median %8.0f\n",
+				ref.Name(), r.v, ref.Footprint, h.Quantile(0.5))
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	evaluate            # run everything
-//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2 opt
+//	evaluate -exp f4    # one experiment: t1 t2 f2 f3 f4 f5a f5b f5c f6 f7 f9 f10 x1 x2 opt reuse
 //	evaluate -j 4       # bound the compile/profile worker pool
 //	evaluate -metrics -http localhost:6060
 package main
@@ -32,7 +32,7 @@ import (
 )
 
 var experiments = []string{
-	"t1", "t2", "f2", "f3", "f4", "f5a", "f5b", "f5c", "f6", "f7", "f9", "f10", "x1", "x2", "opt", "all",
+	"t1", "t2", "f2", "f3", "f4", "f5a", "f5b", "f5c", "f6", "f7", "f9", "f10", "x1", "x2", "opt", "reuse", "all",
 }
 
 func main() {
@@ -135,7 +135,7 @@ func run(exp string, o *obs.Observer) error {
 	}
 
 	needSuite := false
-	for _, e := range []string{"f2", "f4", "f5a", "f5b", "f5c", "f9", "f10", "x1", "x2", "opt"} {
+	for _, e := range []string{"f2", "f4", "f5a", "f5b", "f5c", "f9", "f10", "x1", "x2", "opt", "reuse"} {
 		if want(e) {
 			needSuite = true
 		}
@@ -248,6 +248,18 @@ func run(exp string, o *obs.Observer) error {
 				return "", err
 			}
 			return eval.RenderOptReport(rows), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if want("reuse") {
+		err := experiment("reuse", func() (string, error) {
+			results, suite, err := eval.ReuseReport(data)
+			if err != nil {
+				return "", err
+			}
+			return eval.RenderReuseReport(results, suite), nil
 		})
 		if err != nil {
 			return err

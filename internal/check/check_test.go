@@ -9,6 +9,7 @@ import (
 	"staticest"
 	"staticest/internal/check"
 	"staticest/internal/gen"
+	"staticest/internal/suite"
 )
 
 // TestCleanBatch is the fast in-package smoke: a seeded batch passes
@@ -118,5 +119,25 @@ func TestOracleSelection(t *testing.T) {
 	}
 	if fs := check.Run("sel.c", src, check.Options{Oracles: []string{"all"}}); len(fs) > 0 {
 		t.Errorf("all-oracle run failed: %v", fs)
+	}
+}
+
+// TestReuseOracleSuite runs the reuse oracle over suite programs with
+// array accesses, on their real inputs — the measured stack-distance
+// accounting must hold on full-size traces, not just generated toys.
+func TestReuseOracleSuite(t *testing.T) {
+	for _, name := range []string{"compress", "eqntott", "cholesky"} {
+		p, err := suite.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := staticest.Compile(p.Name+".c", []byte(p.Source))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := p.Inputs[0]
+		for _, f := range check.ReuseOracle(u, staticest.RunOptions{Args: in.Args, Stdin: in.Stdin}) {
+			t.Errorf("%s: %s", name, f)
+		}
 	}
 }

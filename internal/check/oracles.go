@@ -13,8 +13,10 @@ import (
 	"staticest"
 	"staticest/internal/gen"
 	"staticest/internal/ingest"
+	"staticest/internal/metric"
 	"staticest/internal/opt"
 	"staticest/internal/profile"
+	"staticest/internal/reuse"
 	"staticest/internal/server"
 )
 
@@ -40,6 +42,75 @@ func SparseOracle(u *staticest.Unit) []Failure {
 		return []Failure{{Oracle: "sparse", Detail: "reconstruct: " + err.Error()}}
 	}
 	return profileDiffFailures("sparse", staticest.DiffProfiles(full.Profile, rec))
+}
+
+// ReuseOracle traces one run's memory accesses and checks the
+// stack-distance accounting end to end: the measured histogram mass
+// equals the trace length, the per-reference histograms partition the
+// whole-program one, cold mass equals the number of distinct traced
+// addresses, no finite distance bucket lies beyond what that address
+// count admits, and the static estimate scores against the measurement
+// inside the metrics' ranges (total variation and weight match both in
+// [0, 1]).
+func ReuseOracle(u *staticest.Unit, opts staticest.RunOptions) []Failure {
+	tab := u.ReuseTable()
+	if len(tab.Refs) == 0 {
+		return nil
+	}
+	fail := func(format string, args ...any) Failure {
+		return Failure{Oracle: "reuse", Detail: fmt.Sprintf(format, args...)}
+	}
+	measured, res, err := u.MeasureReuse(tab, opts)
+	if err != nil {
+		return []Failure{fail("traced run: %v", err)}
+	}
+	var out []Failure
+	if got, want := measured.Accesses(), float64(len(res.MemTrace)); got != want {
+		out = append(out, fail("histogram mass %.0f != trace length %.0f", got, want))
+	}
+	var refSum reuse.Histogram
+	for i := range measured.PerRef {
+		refSum.Merge(&measured.PerRef[i])
+	}
+	for b := range refSum.Counts {
+		if refSum.Counts[b] != measured.Total.Counts[b] {
+			out = append(out, fail("per-ref histograms do not partition the total at bucket %d: %g vs %g",
+				b, refSum.Counts[b], measured.Total.Counts[b]))
+			break
+		}
+	}
+	distinct := map[uint64]bool{}
+	for _, a := range res.MemTrace {
+		distinct[a.Addr] = true
+	}
+	if got, want := measured.Total.Cold(), float64(len(distinct)); got != want {
+		out = append(out, fail("cold mass %.0f != distinct addresses %.0f", got, want))
+	}
+	for b := reuse.NumBuckets - 1; b >= 0; b-- {
+		if measured.Total.Counts[b] == 0 {
+			continue
+		}
+		// The bucket's lower edge must admit a distance a trace with
+		// this many distinct addresses can produce (at most distinct-1).
+		if b > 0 && reuse.BucketBound(b-1) > float64(len(distinct)-1) {
+			out = append(out, fail("distance bucket %d (lower edge %.0f) beyond distinct addresses %d",
+				b, reuse.BucketBound(b-1), len(distinct)))
+		}
+		break
+	}
+	est, err := u.EstimateReuse(tab, "smart")
+	if err != nil {
+		return append(out, fail("estimate: %v", err))
+	}
+	tv := metric.TotalVariation(est.Total.Vector(), measured.Total.Vector())
+	wm := metric.WeightMatch(est.Total.Vector(), measured.Total.Vector(), 0.05)
+	if tv < 0 || tv > 1 || math.IsNaN(tv) {
+		out = append(out, fail("total variation %g outside [0, 1]", tv))
+	}
+	if wm < 0 || wm > 1 || math.IsNaN(wm) {
+		out = append(out, fail("weight match %g outside [0, 1]", wm))
+	}
+	return out
 }
 
 // IngestOracle pushes the program through the online-aggregation

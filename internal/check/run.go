@@ -8,7 +8,7 @@ import (
 )
 
 // Oracles names every check Run knows, in execution order.
-var Oracles = []string{"invariants", "sparse", "inline", "metamorphic", "ingest", "server"}
+var Oracles = []string{"invariants", "sparse", "inline", "reuse", "metamorphic", "ingest", "server"}
 
 // Options selects which oracles Run executes.
 type Options struct {
@@ -69,6 +69,9 @@ func Run(name string, src []byte, opt Options) []Failure {
 	}
 	if opt.wants("inline") {
 		out = append(out, InlineOracle(u)...)
+	}
+	if opt.wants("reuse") {
+		out = append(out, ReuseOracle(u, staticest.RunOptions{})...)
 	}
 	if opt.wants("metamorphic") {
 		out = append(out, MetamorphicOracle(name, src, u, est)...)

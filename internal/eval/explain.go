@@ -2,7 +2,6 @@ package eval
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
@@ -196,37 +195,7 @@ func Explain(u *staticest.Unit, est *core.Estimates, p *profile.Profile, cutoff 
 // totalVariation normalizes both vectors to unit mass and returns half
 // the L1 distance. Zero-mass vectors are treated as uniform.
 func totalVariation(a, b []float64) float64 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	if n == 0 {
-		return 0
-	}
-	na, nb := normalize(a[:n]), normalize(b[:n])
-	var tv float64
-	for i := range na {
-		tv += math.Abs(na[i] - nb[i])
-	}
-	return tv / 2
-}
-
-func normalize(v []float64) []float64 {
-	out := make([]float64, len(v))
-	var sum float64
-	for _, x := range v {
-		sum += x
-	}
-	if sum == 0 {
-		for i := range out {
-			out[i] = 1 / float64(len(v))
-		}
-		return out
-	}
-	for i, x := range v {
-		out[i] = x / sum
-	}
-	return out
+	return metric.TotalVariation(a, b)
 }
 
 // Render formats the report as text tables. topBranches bounds the

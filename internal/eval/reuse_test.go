@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// reuseResults runs the reuse comparison once per test binary.
+func reuseResults(t *testing.T) ([]*ReuseProgramResult, []ReuseRow) {
+	t.Helper()
+	results, suite, err := ReuseReport(loadAll(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, suite
+}
+
+// TestReuseEstimatorsBeatUniform pins the experiment's acceptance
+// claim: on mean total variation over the suite, at least one static
+// estimator's reuse-distance profile beats the no-information uniform
+// baseline (measured margin ~0.03 for all three).
+func TestReuseEstimatorsBeatUniform(t *testing.T) {
+	_, suite := reuseResults(t)
+	var uniform float64
+	best := 2.0
+	var bestName string
+	for _, r := range suite {
+		if r.Source == "uniform" {
+			uniform = r.TV
+		} else if r.TV < best {
+			best, bestName = r.TV, r.Source
+		}
+	}
+	if uniform == 0 {
+		t.Fatal("no uniform SUITE row")
+	}
+	if best >= uniform {
+		t.Errorf("no estimator beats uniform on mean TV: best %s %.3f vs uniform %.3f",
+			bestName, best, uniform)
+	}
+}
+
+// TestReuseProgramCoverage checks that every suite program with array
+// accesses produced a comparison, each with rows for every estimator
+// plus the baseline, and scores inside their metric ranges.
+func TestReuseProgramCoverage(t *testing.T) {
+	results, suite := reuseResults(t)
+	if len(results) < 10 {
+		t.Fatalf("only %d programs produced reuse comparisons", len(results))
+	}
+	for _, res := range results {
+		if res.Measured.Accesses() == 0 {
+			t.Errorf("%s: measured profile empty", res.Program)
+		}
+		sources := map[string]bool{}
+		for _, r := range res.Rows {
+			sources[r.Source] = true
+			if r.TV < 0 || r.TV > 1 {
+				t.Errorf("%s/%s: TV %.3f out of range", r.Program, r.Source, r.TV)
+			}
+			if r.WM < 0 || r.WM > 1 {
+				t.Errorf("%s/%s: WM %.3f out of range", r.Program, r.Source, r.WM)
+			}
+		}
+		for _, want := range []string{"loop", "smart", "markov", "uniform"} {
+			if !sources[want] {
+				t.Errorf("%s: missing %s row", res.Program, want)
+			}
+		}
+		// A profile scored against itself is a perfect match.
+		self := scoreReuse(res.Program, res.Measured, res.Measured)
+		if self.TV != 0 || self.WM != 1 {
+			t.Errorf("%s: self-score TV=%.3f WM=%.2f, want 0 and 1", res.Program, self.TV, self.WM)
+		}
+	}
+	if len(suite) < 4 {
+		t.Errorf("suite summary has %d rows, want >= 4", len(suite))
+	}
+}
+
+// TestRenderReuseReport checks the rendering carries the table and the
+// measured-distribution figure.
+func TestRenderReuseReport(t *testing.T) {
+	results, suite := reuseResults(t)
+	s := RenderReuseReport(results, suite)
+	for _, want := range []string{"program", "spill-tau$", "SUITE", "measured", "uniform", "cold"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("reuse report missing %q:\n%s", want, s)
+		}
+	}
+}

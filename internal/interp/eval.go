@@ -122,6 +122,10 @@ func (m *Machine) eval(fr *frame, e cast.Expr) value {
 	case *cast.Postfix:
 		addr, t := m.lvalue(fr, x.X)
 		old := m.load(addr, t)
+		if m.memRefs != nil {
+			m.traceAccess(x.X, addr, false)
+			m.traceAccess(x.X, addr, true)
+		}
 		delta := int64(1)
 		if !x.Inc {
 			delta = -1
@@ -154,18 +158,30 @@ func (m *Machine) eval(fr *frame, e cast.Expr) value {
 			v = convert(m, m.eval(fr, x.R), t)
 		} else {
 			cur := m.load(addr, t)
+			if m.memRefs != nil {
+				m.traceAccess(x.L, addr, false)
+			}
 			r := m.eval(fr, x.R)
 			v = convert(m, m.binop(x.Op.BinOp(), cur, r), t)
 		}
 		m.store(addr, t, v)
+		if m.memRefs != nil {
+			m.traceAccess(x.L, addr, true)
+		}
 		return v
 	case *cast.Call:
 		return m.evalCall(fr, x)
 	case *cast.Index:
 		addr, t := m.lvalue(fr, x)
+		if m.memRefs != nil {
+			m.traceAccess(x, addr, false)
+		}
 		return m.load(addr, t)
 	case *cast.Member:
 		addr, t := m.lvalue(fr, x)
+		if m.memRefs != nil {
+			m.traceAccess(x, addr, false)
+		}
 		return m.load(addr, t)
 	case *cast.SizeofExpr:
 		return intValue(x.X.Type().Size(), ctypes.LongType)
@@ -272,6 +288,9 @@ func (m *Machine) evalUnary(fr *frame, x *cast.Unary) value {
 			m.curPos = x.Pos()
 			m.fail("null pointer dereference")
 		}
+		if m.memRefs != nil {
+			m.traceAccess(x, uint64(v.i), false)
+		}
 		return m.load(uint64(v.i), x.Type())
 	case cast.Addr:
 		if id, ok := x.X.(*cast.Ident); ok && id.Obj.Kind == cast.ObjFunc {
@@ -285,6 +304,10 @@ func (m *Machine) evalUnary(fr *frame, x *cast.Unary) value {
 	case cast.PreInc, cast.PreDec:
 		addr, t := m.lvalue(fr, x.X)
 		old := m.load(addr, t)
+		if m.memRefs != nil {
+			m.traceAccess(x.X, addr, false)
+			m.traceAccess(x.X, addr, true)
+		}
 		delta := int64(1)
 		if x.Op == cast.PreDec {
 			delta = -1

@@ -120,6 +120,30 @@ type Options struct {
 	// triggered it. A nil or span-less Ctx leaves spans rooted at Obs;
 	// the context is not consulted during execution.
 	Ctx context.Context
+	// MemRefs, when non-nil, switches on the compact memory-access
+	// trace: every execution of a mapped array/pointer reference
+	// expression appends one MemAccess to Result.MemTrace. The map
+	// assigns each traced expression its reference-site ID (see
+	// internal/reuse, which builds it in deterministic CFG order). The
+	// default nil map costs the hot loop a single pointer test per
+	// candidate access (BenchmarkReuseTrace/off pins parity with
+	// BenchmarkInterpretCompress).
+	MemRefs map[cast.Expr]int32
+	// MaxMemAccesses bounds the trace length when MemRefs is set (0
+	// means the default of 16 million); exceeding it is a runtime error,
+	// like an exhausted step budget.
+	MaxMemAccesses int64
+}
+
+// MemAccess is one traced memory access: the accessed address and the
+// static reference site it came from. Addr is the interpreter's encoded
+// pointer (segment ID in the high bits, byte offset in the low bits), so
+// equal Addr means the same base object and element — the identity the
+// stack-distance analysis in internal/reuse operates on.
+type MemAccess struct {
+	Addr  uint64
+	Ref   int32
+	Write bool
 }
 
 // Result is the outcome of a run.
@@ -132,7 +156,10 @@ type Result struct {
 	// Probes holds the sparse probe vector of a sparse run; nil under
 	// full instrumentation.
 	Probes *probes.Vector
-	Steps  int64
+	// MemTrace is the memory-access trace of a run with Options.MemRefs
+	// set, in execution order; nil otherwise.
+	MemTrace []MemAccess
+	Steps    int64
 }
 
 // Machine executes one program run.
@@ -164,6 +191,13 @@ type Machine struct {
 	plan   *probes.Plan
 	pv     []float64
 	trace  []probes.Escape
+
+	// Memory-access tracing (see Options.MemRefs). memRefs is nil on the
+	// default path, so untraced runs pay one pointer test per candidate
+	// access and the trace buffer is never allocated.
+	memRefs map[cast.Expr]int32
+	mtrace  []MemAccess
+	memMax  int64
 
 	curPos ctoken.Pos
 	depth  int
@@ -215,6 +249,7 @@ func (m *Machine) result(code int) *Result {
 	res := &Result{
 		ExitCode: code,
 		Output:   append([]byte(nil), m.out.Bytes()...),
+		MemTrace: m.mtrace,
 		Steps:    m.steps,
 	}
 	if m.sparse {
@@ -269,12 +304,17 @@ func newMachine(p *cfg.Program, opts Options) *Machine {
 		maxSteps = 200_000_000
 	}
 	m := &Machine{
-		cfgP:  p,
-		sem:   sp,
-		stdin: opts.Stdin,
-		rng:   0x2545F4914F6CDD1D,
-		maxT:  maxSteps,
-		o:     opts.Obs,
+		cfgP:    p,
+		sem:     sp,
+		stdin:   opts.Stdin,
+		rng:     0x2545F4914F6CDD1D,
+		maxT:    maxSteps,
+		o:       opts.Obs,
+		memRefs: opts.MemRefs,
+		memMax:  opts.MaxMemAccesses,
+	}
+	if m.memRefs != nil && m.memMax == 0 {
+		m.memMax = 16_000_000
 	}
 	if opts.Instrumentation == SparseInstrumentation {
 		m.sparse = true
@@ -353,6 +393,22 @@ func (m *Machine) checkedSlice(p uint64, size int64) []byte {
 			off, size, s.name, len(s.data))
 	}
 	return s.data[off : off+size]
+}
+
+// traceAccess appends one memory access when e is a mapped reference
+// expression (accesses through expressions outside the map — notably
+// direct scalar variable reads — are not part of the reuse model).
+// Callers guard with m.memRefs != nil, so the disabled path costs one
+// pointer test and never reaches here.
+func (m *Machine) traceAccess(e cast.Expr, addr uint64, write bool) {
+	id, ok := m.memRefs[e]
+	if !ok {
+		return
+	}
+	if int64(len(m.mtrace)) >= m.memMax {
+		m.fail("memory-trace budget exceeded (%d accesses)", m.memMax)
+	}
+	m.mtrace = append(m.mtrace, MemAccess{Addr: addr, Ref: id, Write: write})
 }
 
 // --- loads and stores -------------------------------------------------------

@@ -69,6 +69,49 @@ func quantileWeight(rank []int, actual []float64, k float64) float64 {
 	return w
 }
 
+// TotalVariation normalizes both vectors to unit mass and returns half
+// their L1 distance — 0 for identical distributions, 1 for disjoint
+// ones. A zero-mass vector is treated as uniform (matching the
+// explain-report divergence, which this generalizes). Vectors of unequal
+// length compare over the common prefix.
+func TotalVariation(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	na, nb := normalizeMass(a[:n]), normalizeMass(b[:n])
+	var tv float64
+	for i := range na {
+		d := na[i] - nb[i]
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	return tv / 2
+}
+
+func normalizeMass(v []float64) []float64 {
+	out := make([]float64, len(v))
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(v))
+		}
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / sum
+	}
+	return out
+}
+
 // WeightedMean averages scores with the given weights (the paper weights
 // per-function scores by dynamic invocation counts). Zero total weight
 // yields the unweighted mean.

@@ -76,17 +76,35 @@ func (o *Observer) Histogram(name string) *Histogram {
 // of Pow/Log10 round-tripping so a value exactly at a bucket's bound
 // classifies into that bucket, not the next.
 func bucketIndex(v float64) int {
-	if !(v > histMinBound) {
+	return LogBucketIndex(v, histMinBound, numFiniteBuckets)
+}
+
+// LogBucketIndex maps a value onto the shared log-spaced bucket ladder
+// (ten buckets per decade, anchored at min): bucket 0 holds values at or
+// below min, finite bucket i has inclusive upper bound min·10^(i/10),
+// and values past bucket `finite` clamp to finite (callers treat that as
+// their overflow bucket). The same 1e-9 slack as bucketIndex keeps
+// values exactly at a bound in that bucket. This is the one ladder every
+// histogram in the system shares — latency histograms here, and the
+// reuse-distance histograms in internal/reuse (anchored at distance 1).
+func LogBucketIndex(v, min float64, finite int) int {
+	if !(v > min) {
 		return 0
 	}
-	idx := int(math.Ceil(bucketsPerDecade*math.Log10(v/histMinBound) - 1e-9))
+	idx := int(math.Ceil(bucketsPerDecade*math.Log10(v/min) - 1e-9))
 	if idx < 0 {
 		return 0
 	}
-	if idx > numFiniteBuckets {
-		return numFiniteBuckets
+	if idx > finite {
+		return finite
 	}
 	return idx
+}
+
+// LogBucketBound returns the inclusive upper bound of finite bucket i on
+// the ladder anchored at min (the inverse of LogBucketIndex).
+func LogBucketBound(i int, min float64) float64 {
+	return min * math.Pow(10, float64(i)/bucketsPerDecade)
 }
 
 // Observe records one value (no-op on nil).

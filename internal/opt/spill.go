@@ -71,6 +71,28 @@ func SpillWeights(cp *cfg.Program, fi int, src *Source) []SpillWeight {
 	return out
 }
 
+// SpillMissFloor keeps a variable's cache-aware weight a positive
+// multiple of its base Chaitin weight, so variables whose memory
+// behavior is unknown (miss ratio 0) still rank by reference frequency
+// rather than collapsing to zero.
+const SpillMissFloor = 0.05
+
+// CacheAwareSpillWeights scales Chaitin spill costs by estimated
+// cache-miss ratios: a spilled variable's reloads compete with the
+// surrounding memory traffic, so where that traffic misses, reloads
+// are evicted and the spill is costlier. Each weight becomes
+// floor + miss(obj) times the base weight. miss reports the miss
+// ratio (0..1) of the memory object the variable's traffic lands in
+// (e.g. reuse.ObjectMissRatio); objects it does not know return 0 and
+// keep the floor multiple.
+func CacheAwareSpillWeights(ws []SpillWeight, miss func(*cast.Object) float64) []SpillWeight {
+	out := append([]SpillWeight(nil), ws...)
+	for i := range out {
+		out[i].Weight *= SpillMissFloor + miss(out[i].Obj)
+	}
+	return out
+}
+
 // SpillRanking returns the variables of a SpillWeights result ordered by
 // descending weight (most expensive to spill first), ties by name.
 func SpillRanking(ws []SpillWeight) []string {

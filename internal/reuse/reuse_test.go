@@ -1,0 +1,391 @@
+package reuse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"staticest/internal/callgraph"
+	"staticest/internal/cfg"
+	"staticest/internal/core"
+	"staticest/internal/cparse"
+	"staticest/internal/interp"
+	"staticest/internal/metric"
+	"staticest/internal/opt"
+	"staticest/internal/reuse"
+	"staticest/internal/sem"
+)
+
+func compile(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	file, err := cparse.ParseFile("test.c", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Analyze(file)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	cp, err := cfg.Build(sp)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return cp
+}
+
+func trace(t *testing.T, src string) (*reuse.Table, []interp.MemAccess) {
+	t.Helper()
+	cp := compile(t, src)
+	tab := reuse.BuildTable(cp)
+	res, err := interp.Run(cp, interp.Options{MemRefs: tab.RefIndex()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return tab, res.MemTrace
+}
+
+func acc(addrs ...uint64) []interp.MemAccess {
+	out := make([]interp.MemAccess, len(addrs))
+	for i, a := range addrs {
+		out[i] = interp.MemAccess{Addr: a, Ref: 0}
+	}
+	return out
+}
+
+// naiveDistances is the textbook O(n²) LRU stack: on each access, the
+// distance is the address's depth in the stack (0 = top), and the
+// address moves to the top.
+func naiveDistances(trace []interp.MemAccess) []float64 {
+	out := make([]float64, len(trace))
+	var stack []uint64
+	for i := range trace {
+		addr := trace[i].Addr
+		depth := -1
+		for j := len(stack) - 1; j >= 0; j-- {
+			if stack[j] == addr {
+				depth = len(stack) - 1 - j
+				stack = append(stack[:j], stack[j+1:]...)
+				break
+			}
+		}
+		if depth < 0 {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = float64(depth)
+		}
+		stack = append(stack, addr)
+	}
+	return out
+}
+
+func TestDistancesHand(t *testing.T) {
+	// a b c a: a's second access passed b and c → distance 2.
+	// Then b: passed c and a → 2. Then b again → 0.
+	got := reuse.Distances(acc(1, 2, 3, 1, 2, 2))
+	want := []float64{math.Inf(1), math.Inf(1), math.Inf(1), 2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("distance[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDistancesSequentialScan(t *testing.T) {
+	// Two passes over N addresses: first pass all cold, second pass all
+	// at distance N-1 (every other element in between).
+	const n = 64
+	var trace []interp.MemAccess
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < n; i++ {
+			trace = append(trace, interp.MemAccess{Addr: i})
+		}
+	}
+	d := reuse.Distances(trace)
+	for i := 0; i < n; i++ {
+		if !math.IsInf(d[i], 1) {
+			t.Fatalf("first pass access %d: distance %v, want +Inf", i, d[i])
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		if d[i] != n-1 {
+			t.Fatalf("second pass access %d: distance %v, want %v", i, d[i], n-1)
+		}
+	}
+}
+
+func TestDistancesStrided(t *testing.T) {
+	// Alternating pair a b a b ...: after warmup every distance is 1.
+	trace := acc(7, 9, 7, 9, 7, 9)
+	d := reuse.Distances(trace)
+	for i := 2; i < len(d); i++ {
+		if d[i] != 1 {
+			t.Errorf("distance[%d] = %v, want 1", i, d[i])
+		}
+	}
+}
+
+func TestDifferentialNaiveVsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		universe := 1 + rng.Intn(64)
+		tr := make([]interp.MemAccess, n)
+		for i := range tr {
+			tr[i] = interp.MemAccess{Addr: uint64(rng.Intn(universe))}
+		}
+		fast := reuse.Distances(tr)
+		slow := naiveDistances(tr)
+		for i := range tr {
+			if fast[i] != slow[i] && !(math.IsInf(fast[i], 1) && math.IsInf(slow[i], 1)) {
+				t.Fatalf("trial %d access %d: tree %v, naive %v", trial, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h reuse.Histogram
+	h.Add(0, 1)
+	h.Add(1, 1)
+	h.Add(math.Inf(1), 3)
+	if h.Counts[0] != 2 {
+		t.Errorf("bucket 0 = %v, want 2 (distances 0 and 1)", h.Counts[0])
+	}
+	if h.Cold() != 3 {
+		t.Errorf("cold = %v, want 3", h.Cold())
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %v, want 5", h.Total())
+	}
+	// Bucket bounds grow by 10^(1/10) and a distance lands at or under
+	// its bucket's bound.
+	for _, d := range []float64{2, 10, 99, 1e6} {
+		i := reuse.BucketIndex(d)
+		if reuse.BucketBound(i) < d {
+			t.Errorf("distance %v: bucket %d bound %v below distance", d, i, reuse.BucketBound(i))
+		}
+		if i > 0 && reuse.BucketBound(i-1) >= d {
+			t.Errorf("distance %v: previous bucket %d bound %v already covers it", d, i-1, reuse.BucketBound(i-1))
+		}
+	}
+	// Huge finite distances clamp into the last finite bucket, not cold.
+	var h2 reuse.Histogram
+	h2.Add(1e12, 1)
+	if h2.Cold() != 0 || h2.Counts[reuse.NumBuckets-1] != 1 {
+		t.Errorf("1e12 landed in cold=%v last=%v", h2.Cold(), h2.Counts[reuse.NumBuckets-1])
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var h reuse.Histogram
+	h.Add(2, 6)   // hits in a cache of 64
+	h.Add(500, 2) // misses
+	h.AddCold(2)  // misses
+	if got := h.MissRatio(64); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("miss ratio = %v, want 0.4", got)
+	}
+	if got := h.MissRatio(1e9); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("huge cache miss ratio = %v, want 0.2 (cold only)", got)
+	}
+}
+
+const scanSrc = `
+int a[100];
+int main(void) {
+	int i, pass, sum;
+	sum = 0;
+	for (pass = 0; pass < 3; pass++)
+		for (i = 0; i < 100; i++)
+			sum += a[i];
+	return sum;
+}`
+
+func TestTableScan(t *testing.T) {
+	cp := compile(t, scanSrc)
+	tab := reuse.BuildTable(cp)
+	if len(tab.Refs) != 1 {
+		t.Fatalf("refs = %d, want 1 (a[i] only)", len(tab.Refs))
+	}
+	r := &tab.Refs[0]
+	if r.Base == nil || r.Base.Name != "a" {
+		t.Fatalf("base = %v, want object a", r.Base)
+	}
+	if r.Footprint != 100 {
+		t.Errorf("footprint = %v, want 100", r.Footprint)
+	}
+	if r.Loop == nil || !r.Streaming {
+		t.Errorf("loop=%v streaming=%v, want in-loop streaming", r.Loop != nil, r.Streaming)
+	}
+	if r.Blk == nil {
+		t.Errorf("ref has no block attribution")
+	}
+}
+
+func TestMeasureScan(t *testing.T) {
+	tab, tr := trace(t, scanSrc)
+	if len(tr) != 300 {
+		t.Fatalf("trace length = %d, want 300", len(tr))
+	}
+	p := reuse.Measure(tab, tr)
+	if p.Accesses() != 300 {
+		t.Errorf("measured mass = %v, want 300", p.Accesses())
+	}
+	if p.Total.Cold() != 100 {
+		t.Errorf("cold mass = %v, want 100 first touches", p.Total.Cold())
+	}
+	// Warm accesses all reuse at distance 99.
+	warmBucket := reuse.BucketIndex(99)
+	if p.Total.Counts[warmBucket] != 200 {
+		t.Errorf("bucket %d = %v, want 200", warmBucket, p.Total.Counts[warmBucket])
+	}
+}
+
+func TestEstimateMatchesMeasuredScan(t *testing.T) {
+	// A small array scanned many times: the estimated access count
+	// exceeds the footprint, so the model must emit warm mass at the
+	// loop's working-set distance.
+	cp := compile(t, `
+int a[16];
+int main(void) {
+	int i, pass, sum;
+	sum = 0;
+	for (pass = 0; pass < 40; pass++)
+		for (i = 0; i < 16; i++)
+			sum += a[i];
+	return sum;
+}`)
+	tab := reuse.BuildTable(cp)
+	res, err := interp.Run(cp, interp.Options{MemRefs: tab.RefIndex()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	measured := reuse.Measure(tab, res.MemTrace)
+	if measured.Accesses() != 640 {
+		t.Fatalf("measured mass = %v, want 640", measured.Accesses())
+	}
+
+	// The loop estimator compounds nesting depth, so its access count
+	// exceeds the footprint and warm mass appears.
+	est := core.EstimateAll(cp, callgraph.Build(cp.Sem), core.DefaultConfig())
+	src, err := opt.EstimateSource(cp, est, "loop")
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	static := reuse.Estimate(tab, src)
+	if static.Accesses() <= 0 {
+		t.Fatalf("static estimate has no mass")
+	}
+	// Static cold mass is capped by the footprint.
+	if static.Total.Cold() > 16+1e-9 {
+		t.Errorf("static cold mass %v exceeds footprint 16", static.Total.Cold())
+	}
+	// The model places warm mass at working set minus one — the exact
+	// measured scan distance of 15, in the measured bucket.
+	warm := reuse.BucketIndex(15)
+	if static.Total.Counts[warm] <= 0 {
+		t.Errorf("static estimate put no warm mass in bucket %d: %v", warm, static.Total.Vector())
+	}
+	// And the estimate beats the uniform baseline on total variation.
+	uni := reuse.UniformBaseline(measured.Accesses(), 16)
+	estTV := metric.TotalVariation(static.Total.Vector(), measured.Total.Vector())
+	uniTV := metric.TotalVariation(uni.Total.Vector(), measured.Total.Vector())
+	if estTV >= uniTV {
+		t.Errorf("estimate TV %.3f not better than uniform %.3f", estTV, uniTV)
+	}
+}
+
+func TestTiledLoopDistances(t *testing.T) {
+	// A tile of 8 revisited 4 times before moving on: warm reuses stay
+	// at distance 7 even though the array is 64 long.
+	tab, tr := trace(t, `
+int a[64];
+int main(void) {
+	int t, rep, i, sum;
+	sum = 0;
+	for (t = 0; t < 8; t++)
+		for (rep = 0; rep < 4; rep++)
+			for (i = 0; i < 8; i++)
+				sum += a[t * 8 + i];
+	return sum;
+}`)
+	p := reuse.Measure(tab, tr)
+	if p.Accesses() != 256 {
+		t.Fatalf("trace mass = %v, want 256", p.Accesses())
+	}
+	if p.Total.Cold() != 64 {
+		t.Errorf("cold = %v, want 64", p.Total.Cold())
+	}
+	b := reuse.BucketIndex(7)
+	if p.Total.Counts[b] != 192 {
+		t.Errorf("tile-reuse bucket %d = %v, want 192", b, p.Total.Counts[b])
+	}
+}
+
+func TestPointerAndStructRefs(t *testing.T) {
+	tab, tr := trace(t, `
+struct pt { int x; int y; };
+struct pt ps[10];
+int main(void) {
+	int i, sum;
+	int *p;
+	sum = 0;
+	for (i = 0; i < 10; i++)
+		sum += ps[i].x + ps[i].y;
+	p = &ps[0].x;
+	for (i = 0; i < 20; i++)
+		sum += p[i];
+	return sum;
+}`)
+	// Refs: ps[i].x, ps[i].y (members through memory), p[i].
+	if len(tab.Refs) != 3 {
+		names := ""
+		for i := range tab.Refs {
+			names += " " + tab.Refs[i].Name()
+		}
+		t.Fatalf("refs = %d (%s), want 3", len(tab.Refs), names)
+	}
+	if len(tr) != 40 {
+		t.Fatalf("trace length = %d, want 40", len(tr))
+	}
+	p := reuse.Measure(tab, tr)
+	// 20 distinct ints: first loop touches all 20 cold; second loop
+	// revisits them all at distance 19.
+	if p.Total.Cold() != 20 {
+		t.Errorf("cold = %v, want 20", p.Total.Cold())
+	}
+}
+
+func TestUniformBaseline(t *testing.T) {
+	p := reuse.UniformBaseline(1000, 100)
+	if math.Abs(p.Accesses()-1000) > 1e-9 {
+		t.Errorf("baseline mass = %v, want 1000", p.Accesses())
+	}
+	if p.Total.Cold() != 0 {
+		t.Errorf("baseline cold = %v, want 0", p.Total.Cold())
+	}
+	top := reuse.BucketIndex(100)
+	if p.Total.Counts[top] == 0 || p.Total.Counts[top+1] != 0 {
+		t.Errorf("baseline mass not confined to buckets 0..%d", top)
+	}
+}
+
+func TestTraceBudget(t *testing.T) {
+	cp := compile(t, scanSrc)
+	tab := reuse.BuildTable(cp)
+	_, err := interp.Run(cp, interp.Options{MemRefs: tab.RefIndex(), MaxMemAccesses: 10})
+	if err == nil {
+		t.Fatalf("expected trace-budget error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h reuse.Histogram
+	h.Add(4, 10)
+	if q := h.Quantile(0.5); q <= 0 || q > reuse.BucketBound(reuse.BucketIndex(4)) {
+		t.Errorf("median = %v, want within bucket of distance 4", q)
+	}
+	h.AddCold(90)
+	if !math.IsInf(h.Quantile(0.5), 1) {
+		t.Errorf("median with dominant cold mass should be +Inf")
+	}
+}

@@ -1,0 +1,412 @@
+package reuse
+
+import (
+	"math"
+
+	"staticest/internal/cast"
+	"staticest/internal/opt"
+)
+
+// DefaultFootprint stands in for the element count of objects whose
+// extent is not statically known (pointer bases, heap structures) —
+// the same order as the suite's typical array sizes.
+const DefaultFootprint = 256
+
+// SteadyTrips is the assumed trip count of loops whose bound is not
+// syntactically constant. The frequency estimators deliberately model
+// every loop with a small nominal multiplier — right for relative
+// block frequencies, but far too short for memory behavior: a real
+// workload's loops run long enough that warm re-references dwarf the
+// first-touch (cold) pass. Assuming steady state for unbounded loops
+// keeps the estimated cold fraction in the regime measured traces
+// actually exhibit.
+const SteadyTrips = 512
+
+// TypicalTrips is the assumed per-entry trip count of a loop whose
+// bound is neither constant nor implied by the source, used for
+// working-set (distance) estimation and for putting unknown-bound
+// loops on the same count scale as constant-bound ones. The frequency
+// estimators' nominal loop multipliers (~4-16) are tuned for relative
+// block frequencies; per-entry element coverage in real traces
+// clusters in the tens.
+const TypicalTrips = 16
+
+// Estimate derives a static reuse-distance profile from the table's
+// loop structure and array footprints, using a block-frequency source
+// (one of the estimator ladders, or a measured profile) as the
+// iteration-count oracle.
+//
+// Access counts: a reference's baseline count is its block's absolute
+// frequency under src, rescaled per enclosing loop onto a common trip
+// scale — the exact bound where it is syntactically constant
+// (for (i = 0; i < 100; i++)), TypicalTrips where it is not. The
+// estimators model every loop with a small nominal multiplier that is
+// right for relative block frequencies but mixes scales badly here: a
+// constant-bound init scan would otherwise swamp a hot probe loop
+// whose real trip count the estimator cannot see. Source-implied trips
+// for a loop come from its condition block: with condition frequency c
+// and body frequency b, the loop was entered e = c - b times and ran
+// b / e iterations per entry.
+//
+// Distances: a reference reuses an element once per iteration of its
+// NVLoop — the innermost enclosing loop that does not advance its
+// address — at a distance of that iteration's working set (iterCover),
+// everything the other references under the loop touch in between. A
+// reference every enclosing loop advances (a pure scan, a moving hash
+// probe) only rehits across whole-nest reruns, past the nest's full
+// per-entry coverage (entryCover). Both distances are deposited as
+// half-decade triangular bumps (addSmooth): a static distance is an
+// order-of-magnitude claim, not an exact count.
+//
+// The cold/warm split assumes steady state: across the function's
+// lifetime (its source-visible invocation count, floored at
+// ReentryFloor) a nest makes far more accesses than its footprint has
+// elements, so only the first-touch pass is cold. Duplicate references
+// — the same expression read several times in one loop body — rehit
+// at near-zero distance and are never cold.
+func Estimate(t *Table, src *opt.Source) *Profile {
+	p := &Profile{Source: src.Name, PerRef: make([]Histogram, len(t.Refs))}
+
+	// Source-implied per-entry trip counts, memoized per loop.
+	srcTripsMemo := make(map[cast.Stmt]float64)
+	srcTrips := func(fi int, L cast.Stmt) float64 {
+		if v, ok := srcTripsMemo[L]; ok {
+			return v
+		}
+		v := 0.0
+		if cond := t.LoopCond[L]; cond != nil && fi < len(src.Block) && cond.ID < len(src.Block[fi]) {
+			fc := src.Block[fi][cond.ID]
+			var fb float64
+			if len(cond.Succs) > 0 && cond.Succs[0].ID < len(src.Block[fi]) {
+				fb = src.Block[fi][cond.Succs[0].ID]
+			}
+			entries := fc - fb
+			if entries < 1 {
+				entries = 1
+			}
+			if fb > 0 {
+				v = fb / entries
+			}
+		}
+		srcTripsMemo[L] = v
+		return v
+	}
+	// Effective innermost trip count: constant bound if known,
+	// otherwise at least the steady-state assumption.
+	effTrips := func(fi int, L cast.Stmt) float64 {
+		if c := t.ConstTrips[L]; c > 0 {
+			return c
+		}
+		return math.Max(srcTrips(fi, L), SteadyTrips)
+	}
+	// Common-scale trip refinement for a reference's whole nest: each
+	// constant-bound enclosing loop rescales the source's implied trips
+	// to the exact bound, and each unknown-bound loop is floored at
+	// TypicalTrips so both kinds of loop sit on one scale. The much
+	// larger SteadyTrips deliberately stays out of this factor — it
+	// would compound per nest level and let the deepest nest swallow
+	// the whole distribution.
+	adjust := func(r *Ref) float64 {
+		m := 1.0
+		for _, L := range r.Loops {
+			st := srcTrips(r.Func, L)
+			if st < 1 {
+				st = 1
+			}
+			if c := t.ConstTrips[L]; c > 0 {
+				m *= c / st
+			} else if st < TypicalTrips {
+				m *= TypicalTrips / st
+			}
+		}
+		return m
+	}
+	// Assumed long-run access count for a reference per function
+	// invocation: the product of effective trip counts over its nest.
+	// Only the cold/warm split uses it — the ratio of first touches to
+	// total accesses in the steady state — so the inflation cannot
+	// shift mass between references.
+	effTotal := func(r *Ref) float64 {
+		m := 1.0
+		for _, L := range r.Loops {
+			if T := effTrips(r.Func, L); T > 1 {
+				m *= T
+			}
+		}
+		return m
+	}
+
+	refCount := func(r *Ref) float64 {
+		if r.Blk == nil || r.Func >= len(src.Block) || r.Blk.ID >= len(src.Block[r.Func]) {
+			return 0
+		}
+		n := src.Block[r.Func][r.Blk.ID]
+		if !(n > 0) {
+			return 0
+		}
+		return n * adjust(r)
+	}
+
+	// Duplicate references: several syntactic refs with the same base
+	// expression inside one loop body (x[i] read three times per
+	// iteration) hit the same address within the iteration, so every
+	// access after the first returns at near-zero distance. Group refs
+	// by (function, innermost loop — or block, outside loops,
+	// expression text); the heaviest member keeps the positional model
+	// and represents the group in working-set sums, the rest rehit
+	// immediately.
+	counts := make([]float64, len(t.Refs))
+	for i := range t.Refs {
+		counts[i] = refCount(&t.Refs[i])
+	}
+	type dupKey struct {
+		fn   int
+		at   any
+		name string
+	}
+	keyOf := func(r *Ref) dupKey {
+		at := any(r.Loop)
+		if r.Loop == nil {
+			at = any(r.Blk)
+		}
+		return dupKey{r.Func, at, r.Name()}
+	}
+	lead := make(map[dupKey]int)
+	for i := range t.Refs {
+		k := keyOf(&t.Refs[i])
+		if j, ok := lead[k]; !ok || counts[i] > counts[j] {
+			lead[k] = i
+		}
+	}
+
+	// Per-entry trip count for working-set (distance) purposes: the
+	// constant bound where known, otherwise at least TypicalTrips.
+	// The SteadyTrips floor deliberately does NOT apply here — a loop
+	// running long over the program's life says nothing about how many
+	// distinct elements one entry touches, and inflating the working
+	// set pushes every warm distance orders of magnitude past what
+	// traces show.
+	wsTrips := func(fi int, L cast.Stmt) float64 {
+		if c := t.ConstTrips[L]; c > 0 {
+			return c
+		}
+		return math.Max(TypicalTrips, srcTrips(fi, L))
+	}
+
+	// Working sets per loop. iterCover is the distinct-element coverage
+	// of ONE iteration of the loop: every reference nested under it
+	// contributes the elements a single iteration lets it touch — its
+	// full per-entry coverage when it sits under deeper loops, one
+	// element when it sits directly in the body. entryCover is the
+	// coverage of one whole ENTRY (the loop run to completion),
+	// including the loop's own trips.
+	iterCover := make(map[cast.Stmt]float64)
+	entryCover := make(map[cast.Stmt]float64)
+	for i := range t.Refs {
+		r := &t.Refs[i]
+		if lead[keyOf(r)] != i {
+			continue
+		}
+		F := footprintOrDefault(r)
+		for j, L := range r.Loops {
+			inner := 1.0
+			for _, L2 := range r.Loops[j+1:] {
+				inner *= math.Max(1, wsTrips(r.Func, L2))
+			}
+			iterCover[L] += math.Min(F, inner)
+			entryCover[L] += math.Min(F, inner*math.Max(1, wsTrips(r.Func, L)))
+		}
+	}
+
+	// Warm reuse distance: a reference whose NVLoop exists re-touches
+	// its elements once per NVLoop iteration, past that iteration's
+	// working set. A reference every enclosing loop advances (a pure
+	// scan, a moving hash probe) re-touches only across whole-nest
+	// reruns, past everything the nest covers in one entry — its own
+	// elements and every sibling reference's.
+	warmDist := func(r *Ref) float64 {
+		if r.NVLoop != nil {
+			return math.Max(0, iterCover[r.NVLoop]-1)
+		}
+		return math.Max(0, entryCover[r.Loops[0]]-1)
+	}
+
+	for i := range t.Refs {
+		r := &t.Refs[i]
+		n := counts[i]
+		if n <= 0 {
+			continue
+		}
+		F := footprintOrDefault(r)
+		h := &p.PerRef[i]
+		if lead[keyOf(r)] != i {
+			addSmooth(h, 1, n)
+			continue
+		}
+		switch {
+		case r.Loop != nil && r.Streaming:
+			// Steady-state cold fraction: across the function's life
+			// the reference makes effTotal x invocations accesses; its
+			// loop is entered that total / T times, each entry
+			// covering min(F, T) new elements until the footprint is
+			// exhausted. The invocation factor is the nest's visible
+			// caller: re-entries rehit the footprint the first pass
+			// touched, so a one-shot constant-bound init scan in a
+			// run-once function correctly comes out all cold while the
+			// same scan in a hot helper is almost entirely warm.
+			T := math.Max(1, effTrips(r.Func, r.Loop))
+			total := math.Max(effTotal(r), T) * invocations(src, r.Func)
+			coldElems := math.Min(F, total/T*math.Min(F, T))
+			cold := math.Min(n*coldElems/total, F)
+			h.AddCold(cold)
+			if warm := n - cold; warm > 0 {
+				addSmooth(h, warmDist(r), warm)
+			}
+		case r.Loop != nil:
+			// Stationary: one element per loop entry; entries may
+			// still walk the footprint over the long run.
+			T := math.Max(1, effTrips(r.Func, r.Loop))
+			total := math.Max(effTotal(r), T) * invocations(src, r.Func)
+			cold := math.Min(n*math.Min(F, total/T)/total, F)
+			h.AddCold(cold)
+			if warm := n - cold; warm > 0 {
+				addSmooth(h, warmDist(r), warm)
+			}
+		case fixedAddr(r.Expr):
+			// A fixed-address reference outside any syntactic loop
+			// (pat[0] in a helper the caller loops over): every
+			// execution rehits one element, with only a handful of
+			// other references in between.
+			cold := math.Min(n, 1)
+			h.AddCold(cold)
+			if warm := n - cold; warm > 0 {
+				addSmooth(h, 2, warm)
+			}
+		default:
+			// A varying reference outside any syntactic loop is still
+			// hot through its callers — the steady-state assumption
+			// discounts its first-touch share the same way it does for
+			// visible loops — and its distances spread over whatever
+			// the footprint admits.
+			cold := math.Min(math.Min(n, F)/SteadyTrips, F)
+			h.AddCold(cold)
+			if warm := n - cold; warm > 0 {
+				spreadUniform(h, warm, F)
+			}
+		}
+	}
+	for i := range p.PerRef {
+		p.Total.Merge(&p.PerRef[i])
+	}
+	return p
+}
+
+// ReentryFloor is the minimum assumed lifetime re-entry count of any
+// loop nest. The estimators' function-invocation counts are the
+// visible part of the invisible caller, but they are deliberately
+// conservative (a handful per call site) and cannot distinguish a
+// genuinely one-shot init scan from a periodically re-run phase like a
+// garbage collector — so every nest is assumed re-entered at least a
+// few times, which bounds how much of a hot region's mass can be
+// claimed cold.
+const ReentryFloor = 8
+
+// invocations is the source's estimated invocation count for a
+// function, floored at ReentryFloor.
+func invocations(src *opt.Source, fi int) float64 {
+	if fi < len(src.Func) && src.Func[fi] > ReentryFloor {
+		return src.Func[fi]
+	}
+	return ReentryFloor
+}
+
+func footprintOrDefault(r *Ref) float64 {
+	if r.Footprint > 0 {
+		return r.Footprint
+	}
+	return DefaultFootprint
+}
+
+// smoothRadius is the half-width, in histogram buckets, of the kernel
+// addSmooth spreads warm mass over. A static distance is an
+// order-of-magnitude claim, not an exact count — the model cannot see
+// iteration-order effects, partial reuse, or interleaving from other
+// functions — so its mass is deposited as a triangular bump spanning
+// roughly half a decade (4 buckets = 10^0.4 ≈ 2.5x) to each side
+// rather than as a point spike that total variation scores zero for a
+// one-bucket miss.
+const smoothRadius = 4
+
+// addSmooth adds mass centered on distance dist with a triangular
+// kernel over +-smoothRadius buckets (clipped to the finite range).
+func addSmooth(h *Histogram, dist, mass float64) {
+	c := BucketIndex(dist)
+	var wsum float64
+	for k := -smoothRadius; k <= smoothRadius; k++ {
+		if b := c + k; b >= 0 && b < NumBuckets {
+			wsum += float64(smoothRadius + 1 - abs(k))
+		}
+	}
+	for k := -smoothRadius; k <= smoothRadius; k++ {
+		if b := c + k; b >= 0 && b < NumBuckets {
+			h.Counts[b] += mass * float64(smoothRadius+1-abs(k)) / wsum
+		}
+	}
+}
+
+func abs(k int) int {
+	if k < 0 {
+		return -k
+	}
+	return k
+}
+
+// spreadUniform distributes mass evenly across the distance buckets
+// from 0 up to the bucket holding maxDist.
+func spreadUniform(h *Histogram, mass, maxDist float64) {
+	top := BucketIndex(maxDist)
+	per := mass / float64(top+1)
+	for i := 0; i <= top; i++ {
+		h.Counts[i] += per
+	}
+}
+
+// UniformBaseline is the informationless static profile every estimator
+// must beat: the measured access mass spread uniformly over the
+// distances the measured distinct-address count admits, with no cold
+// mass. It knows the trace's size but nothing about its structure.
+func UniformBaseline(accesses, distinct float64) *Profile {
+	p := &Profile{Source: "uniform"}
+	if accesses <= 0 {
+		return p
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	spreadUniform(&p.Total, accesses, distinct)
+	return p
+}
+
+// ObjectMissRatio aggregates a profile's per-reference histograms by
+// base object and converts each to a miss ratio at the given cache
+// capacity. References without a syntactic base object are skipped.
+func ObjectMissRatio(t *Table, p *Profile, capacity float64) map[*cast.Object]float64 {
+	byObj := make(map[*cast.Object]*Histogram)
+	for i := range t.Refs {
+		r := &t.Refs[i]
+		if r.Base == nil || i >= len(p.PerRef) {
+			continue
+		}
+		h, ok := byObj[r.Base]
+		if !ok {
+			h = &Histogram{}
+			byObj[r.Base] = h
+		}
+		h.Merge(&p.PerRef[i])
+	}
+	out := make(map[*cast.Object]float64, len(byObj))
+	for obj, h := range byObj {
+		out[obj] = h.MissRatio(capacity)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"staticest/internal/eval"
 	"staticest/internal/opt"
 	"staticest/internal/profile"
+	"staticest/internal/reuse"
 	"staticest/internal/suite"
 )
 
@@ -54,6 +56,9 @@ type EstimateRequest struct {
 	sourceRef
 	// Top bounds the call-site ranking (default 10, <= 0 for all).
 	Top *int `json:"top,omitempty"`
+	// Reuse adds static memory reuse-distance summaries (see
+	// internal/reuse) to the response.
+	Reuse bool `json:"reuse,omitempty"`
 }
 
 // FuncEstimate is one function's estimates under every ladder rung.
@@ -79,6 +84,35 @@ type CallSiteRank struct {
 	FreqMarkov float64 `json:"freq_markov"`
 }
 
+// ReuseSourceSummary summarizes one estimator's static reuse-distance
+// profile: total estimated access mass, the first-touch (cold)
+// fraction, and distance quantiles. Quantiles report -1 when they land
+// in the cold bucket (no finite distance).
+type ReuseSourceSummary struct {
+	Source   string  `json:"source"`
+	Accesses float64 `json:"accesses"`
+	ColdFrac float64 `json:"cold_frac"`
+	Median   float64 `json:"median_distance"`
+	P90      float64 `json:"p90_distance"`
+}
+
+// ReuseRefRank is one memory reference ranked by estimated access
+// mass under the smart estimator.
+type ReuseRefRank struct {
+	Rank      int     `json:"rank"`
+	Ref       string  `json:"ref"`
+	Footprint float64 `json:"footprint,omitempty"`
+	Accesses  float64 `json:"accesses"`
+	Median    float64 `json:"median_distance"`
+}
+
+// ReuseReport is the estimate endpoint's opt-in reuse section.
+type ReuseReport struct {
+	Refs    int                  `json:"refs"`
+	Sources []ReuseSourceSummary `json:"sources"`
+	TopRefs []ReuseRefRank       `json:"top_refs"`
+}
+
 // EstimateResponse is the estimate endpoint's reply.
 type EstimateResponse struct {
 	Program     string         `json:"program"`
@@ -87,6 +121,8 @@ type EstimateResponse struct {
 	// CallSites ranks direct call sites by the smart (direct) global
 	// frequency estimate, hottest first.
 	CallSites []CallSiteRank `json:"call_sites"`
+	// Reuse is present when the request set "reuse": true.
+	Reuse *ReuseReport `json:"reuse,omitempty"`
 }
 
 func (s *Server) handleEstimate(r *http.Request) (any, error) {
@@ -154,7 +190,70 @@ func (s *Server) handleEstimate(r *http.Request) (any, error) {
 		sites[i].Rank = i + 1
 	}
 	resp.CallSites = sites
+	if req.Reuse {
+		resp.Reuse, err = reuseReport(c, top)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return resp, nil
+}
+
+// reuseReport derives the static reuse-distance summaries for the
+// estimate endpoint: one line per estimator source over the program's
+// memory references, plus the hottest references under smart.
+func reuseReport(c *compiled, top int) (*ReuseReport, error) {
+	tab := reuse.BuildTable(c.unit.CFG)
+	rep := &ReuseReport{Refs: len(tab.Refs)}
+	if len(tab.Refs) == 0 {
+		return rep, nil
+	}
+	// Quantiles land in the cold bucket as +Inf, which JSON cannot
+	// carry; report -1 instead.
+	finite := func(v float64) float64 {
+		if math.IsInf(v, 0) {
+			return -1
+		}
+		return v
+	}
+	var smart *reuse.Profile
+	for _, kind := range opt.EstimateKinds {
+		src, err := opt.EstimateSource(c.unit.CFG, c.estimates(), kind)
+		if err != nil {
+			return nil, errUnprocessable("reuse estimate: %v", err)
+		}
+		p := reuse.Estimate(tab, src)
+		if kind == "smart" {
+			smart = p
+		}
+		sum := ReuseSourceSummary{Source: kind, Accesses: p.Accesses()}
+		if sum.Accesses > 0 {
+			sum.ColdFrac = p.Total.Cold() / sum.Accesses
+			sum.Median = finite(p.Total.Quantile(0.5))
+			sum.P90 = finite(p.Total.Quantile(0.9))
+		}
+		rep.Sources = append(rep.Sources, sum)
+	}
+	order := make([]int, len(tab.Refs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return smart.PerRef[order[a]].Total() > smart.PerRef[order[b]].Total()
+	})
+	for rank, i := range order {
+		if (top > 0 && rank >= top) || smart.PerRef[i].Total() <= 0 {
+			break
+		}
+		rep.TopRefs = append(rep.TopRefs, ReuseRefRank{
+			Rank:      rank + 1,
+			Ref:       tab.Refs[i].Name(),
+			Footprint: tab.Refs[i].Footprint,
+			Accesses:  smart.PerRef[i].Total(),
+			Median:    finite(smart.PerRef[i].Quantile(0.5)),
+		})
+	}
+	return rep, nil
 }
 
 // --- POST /v1/profile -------------------------------------------------------

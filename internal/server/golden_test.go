@@ -41,6 +41,8 @@ func TestGoldenEndpoints(t *testing.T) {
 	}{
 		{"estimate_strchr", "POST", "/v1/estimate",
 			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`},
+		{"estimate_reuse_compress", "POST", "/v1/estimate",
+			`{"program":"compress","top":5,"reuse":true}`},
 		{"profile_full_strchr", "POST", "/v1/profile",
 			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`},
 		{"profile_sparse_strchr", "POST", "/v1/profile",

@@ -54,7 +54,7 @@ emit() {
 	fi
 }
 
-interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|HistogramObserve'}
+interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|ReuseTrace|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|HistogramObserve'}
 serve_filter=${BENCH_SERVE_FILTER:-'ServeEstimate|^BenchmarkIngest$'}
 
 emit "$(bench_json "$interp_filter" . ./internal/obs)" "${BENCH_OUT:-BENCH_interp.json}"

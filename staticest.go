@@ -31,6 +31,7 @@ import (
 	"staticest/internal/opt"
 	"staticest/internal/probes"
 	"staticest/internal/profile"
+	"staticest/internal/reuse"
 	"staticest/internal/sem"
 )
 
@@ -247,6 +248,51 @@ func (u *Unit) PlanInline(src *FreqSource, budget int) *InlinePlan {
 		obs.KV("prog", u.Name), obs.KV("source", src.Name))
 	defer sp.End()
 	return opt.PlanInline(u.CFG, u.Call, src, budget)
+}
+
+// ReuseTable is the program's static memory-reference table (see
+// internal/reuse): one entry per scalar array subscript, pointer
+// dereference, or through-memory member access, classified against its
+// loop context.
+type ReuseTable = reuse.Table
+
+// ReuseProfile is a reuse-distance profile — the whole-program and
+// per-reference histograms — measured from a trace or derived
+// statically.
+type ReuseProfile = reuse.Profile
+
+// ReuseTable builds the unit's memory-reference table. The table's
+// RefIndex feeds RunOptions.MemRefs to enable trace collection.
+func (u *Unit) ReuseTable() *ReuseTable {
+	return reuse.BuildTable(u.CFG)
+}
+
+// EstimateReuse derives a static reuse-distance profile for the table
+// using the named block-frequency estimator ("loop", "smart", or
+// "markov") as the iteration-count oracle.
+func (u *Unit) EstimateReuse(t *ReuseTable, kind string) (*ReuseProfile, error) {
+	sp := u.obs.StartSpan("reuse.estimate",
+		obs.KV("prog", u.Name), obs.KV("source", kind))
+	defer sp.End()
+	src, err := opt.EstimateSource(u.CFG, u.Estimate(), kind)
+	if err != nil {
+		return nil, err
+	}
+	return reuse.Estimate(t, src), nil
+}
+
+// MeasureReuse runs the program with memory tracing enabled and folds
+// the trace into a measured reuse-distance profile via the O(n log n)
+// stack-distance algorithm. The run's result is returned alongside.
+func (u *Unit) MeasureReuse(t *ReuseTable, opts RunOptions) (*ReuseProfile, *RunResult, error) {
+	sp := u.obs.StartSpan("reuse.measure", obs.KV("prog", u.Name))
+	defer sp.End()
+	opts.MemRefs = t.RefIndex()
+	res, err := u.Run(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reuse.Measure(t, res.MemTrace), res, nil
 }
 
 // Inline applies an inlining plan and returns a new Unit wrapping the
