@@ -1,6 +1,7 @@
 package staticest_test
 
 import (
+	"runtime"
 	"testing"
 
 	"staticest"
@@ -368,6 +369,31 @@ func BenchmarkInterpretCompress(b *testing.B) {
 	b.ReportMetric(float64(steps), "blocks/run")
 }
 
+// BenchmarkInterpretCompressTree is the same run forced onto the
+// reference tree-walking evaluator — the committed trajectory keeps
+// both engines so the gap the bytecode lowering buys stays visible
+// (and a silent fallback to the tree path would show up as a cliff).
+func BenchmarkInterpretCompressTree(b *testing.B) {
+	prog, err := suite.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := prog.CompileCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := prog.Inputs[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := u.Run(staticest.RunOptions{
+			Args: in.Args, Stdin: in.Stdin, Engine: staticest.EngineTree,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReuseTrace measures the memory-trace overhead on compress:
 // "off" is a run with tracing disabled — the default path, whose only
 // cost is a nil-map test per candidate access, pinned at parity with
@@ -423,8 +449,21 @@ func BenchmarkProbeProfiling(b *testing.B) {
 	in := prog.Inputs[0]
 	plan := u.PlanProbes()
 
+	// The two modes run back to back in one process; without a warm-up
+	// and a collection the second mode starts against the heap the first
+	// one grew, which skews the comparison by several percent.
+	warm := func(b *testing.B, opts staticest.RunOptions) {
+		b.Helper()
+		if _, err := u.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+		b.ResetTimer()
+	}
+
 	b.Run("full", func(b *testing.B) {
 		b.ReportAllocs()
+		warm(b, staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
 		var incs float64
 		for i := 0; i < b.N; i++ {
 			res, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
@@ -442,6 +481,11 @@ func BenchmarkProbeProfiling(b *testing.B) {
 	})
 	b.Run("sparse", func(b *testing.B) {
 		b.ReportAllocs()
+		warm(b, staticest.RunOptions{
+			Args: in.Args, Stdin: in.Stdin,
+			Instrumentation: staticest.SparseInstrumentation,
+			Plan:            plan,
+		})
 		var incs float64
 		for i := 0; i < b.N; i++ {
 			res, err := u.Run(staticest.RunOptions{

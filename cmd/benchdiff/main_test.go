@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseLine(t *testing.T) {
+	name, vals, ok := parseLine("BenchmarkInterpretCompress-8   30   17000000 ns/op   107027 blocks/run   244 allocs/op")
+	if !ok || name != "BenchmarkInterpretCompress" {
+		t.Fatalf("parseLine: name %q ok %v", name, ok)
+	}
+	if vals["ns/op"] != 17000000 || vals["allocs/op"] != 244 {
+		t.Errorf("vals = %v", vals)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tstaticest\t9.502s",
+		"BenchmarkX-8 garbage ns/op",
+	} {
+		if _, _, ok := parseLine(bad); ok {
+			t.Errorf("parseLine(%q) unexpectedly parsed", bad)
+		}
+	}
+	// Sub-benchmark names keep their slash path; only the GOMAXPROCS
+	// suffix is stripped.
+	name, _, ok = parseLine("BenchmarkProbeProfiling/sparse-16 30 100 ns/op")
+	if !ok || name != "BenchmarkProbeProfiling/sparse" {
+		t.Errorf("sub-benchmark name = %q ok %v", name, ok)
+	}
+}
+
+func TestMedianAggregation(t *testing.T) {
+	p, err := parseFile(writeBench(t, "m.bench", `
+BenchmarkX-8 10 100 ns/op 5 allocs/op
+BenchmarkX-8 10 300 ns/op 5 allocs/op
+BenchmarkX-8 10 200 ns/op 6 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := median(p["BenchmarkX"]["ns/op"]); got != 200 {
+		t.Errorf("median ns/op = %v, want 200", got)
+	}
+	if got := median(p["BenchmarkX"]["allocs/op"]); got != 5 {
+		t.Errorf("median allocs/op = %v, want 5", got)
+	}
+}
+
+func TestDiffGates(t *testing.T) {
+	base := map[string]samples{
+		"BenchmarkA": {"ns/op": {100}, "allocs/op": {10}},
+		"BenchmarkB": {"ns/op": {100}, "allocs/op": {10}},
+		"BenchmarkC": {"ns/op": {100}, "allocs/op": {10}},
+		"BenchmarkD": {"ns/op": {100}, "allocs/op": {10}},
+	}
+	head := map[string]samples{
+		"BenchmarkA": {"ns/op": {110}, "allocs/op": {11}}, // within both gates
+		"BenchmarkB": {"ns/op": {130}, "allocs/op": {10}}, // ns/op regression
+		"BenchmarkC": {"ns/op": {90}, "allocs/op": {20}},  // allocs regression
+		// BenchmarkD missing: gate narrowing must fail
+		"BenchmarkE": {"ns/op": {1}, "allocs/op": {1}}, // new, not gated
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if got := diff(devnull, base, head, 0.15); got != 3 {
+		t.Errorf("diff regressions = %d, want 3 (ns/op, allocs/op, missing)", got)
+	}
+	if got := diff(devnull, base, base, 0.15); got != 0 {
+		t.Errorf("self-diff regressions = %d, want 0", got)
+	}
+}
+
+func TestParseFileRejectsEmpty(t *testing.T) {
+	if _, err := parseFile(writeBench(t, "empty.bench", "PASS\nok\tx\t1s\n")); err == nil {
+		t.Error("parseFile accepted output with no Benchmark lines")
+	}
+}

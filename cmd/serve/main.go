@@ -48,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"staticest"
 	"staticest/internal/cliutil"
 	"staticest/internal/eval"
 	"staticest/internal/obs"
@@ -63,6 +64,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 50_000_000, "block-execution budget per served run")
 	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "max wait for a worker slot before shedding with 429")
 	jobs := flag.Int("j", 0, "concurrent pipeline requests (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "bytecode", "interpreter engine for served runs: bytecode or tree")
 	trace := flag.String("trace", "", "write JSONL trace events to this file (- for stderr)")
 	metrics := flag.Bool("metrics", false, "print the final metrics exposition to stderr at exit")
 	flag.Parse()
@@ -71,6 +73,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: serve [flags]")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := cliutil.CheckEnum("engine", *engine, "bytecode", "tree"); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	runEngine := staticest.EngineBytecode
+	if *engine == "tree" {
+		runEngine = staticest.EngineTree
 	}
 	eval.SetParallelism(*jobs)
 
@@ -95,6 +106,7 @@ func main() {
 		DrainTimeout:   *drain,
 		MaxSteps:       *maxSteps,
 		QueueWait:      *queueWait,
+		Engine:         runEngine,
 		Obs:            o,
 	})
 

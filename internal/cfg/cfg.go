@@ -8,6 +8,7 @@ package cfg
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"staticest/internal/cast"
 	"staticest/internal/sem"
@@ -95,6 +96,13 @@ type Program struct {
 	Sem    *sem.Program
 	Graphs []*Graph // parallel to Sem.Funcs
 	ByFunc map[*cast.FuncDecl]*Graph
+
+	// LoweredMu guards Lowered, the interpreter's lazily compiled
+	// bytecode lowerings of this program. The cache is stored untyped
+	// because cfg cannot import the bytecode package (internal/bc
+	// compiles FROM cfg graphs); internal/interp owns the concrete type.
+	LoweredMu sync.Mutex
+	Lowered   any
 }
 
 // Build constructs control-flow graphs for every function.

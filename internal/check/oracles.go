@@ -44,6 +44,78 @@ func SparseOracle(u *staticest.Unit) []Failure {
 	return profileDiffFailures("sparse", staticest.DiffProfiles(full.Profile, rec))
 }
 
+// BytecodeOracle runs the program under both execution engines — the
+// bytecode lowering and the reference tree-walking evaluator — in both
+// instrumentation modes and demands byte-identical observables: exit
+// code, output, step count, full profile, and sparse probe vector. The
+// suite's TestEngineDifferential pins the 14 fixed programs; this
+// oracle extends the same check to arbitrary generated programs.
+func BytecodeOracle(u *staticest.Unit) []Failure {
+	var out []Failure
+	fail := func(format string, args ...any) {
+		out = append(out, Failure{Oracle: "bc", Detail: fmt.Sprintf(format, args...)})
+	}
+	pair := func(label string, opts staticest.RunOptions) (*staticest.RunResult, *staticest.RunResult) {
+		opts.Engine = staticest.EngineTree
+		tree, err := u.Run(opts)
+		if err != nil {
+			fail("%s tree run: %v", label, err)
+			return nil, nil
+		}
+		opts.Engine = staticest.EngineBytecode
+		bc, err := u.Run(opts)
+		if err != nil {
+			fail("%s bytecode run: %v", label, err)
+			return nil, nil
+		}
+		if tree.ExitCode != bc.ExitCode {
+			fail("%s exit code: tree %d, bytecode %d", label, tree.ExitCode, bc.ExitCode)
+		}
+		if !bytes.Equal(tree.Output, bc.Output) {
+			fail("%s output differs (tree %d bytes, bytecode %d bytes)",
+				label, len(tree.Output), len(bc.Output))
+		}
+		if tree.Steps != bc.Steps {
+			fail("%s steps: tree %d, bytecode %d", label, tree.Steps, bc.Steps)
+		}
+		return tree, bc
+	}
+	if tree, bc := pair("full", staticest.RunOptions{}); tree != nil {
+		out = append(out, profileDiffFailures("bc", staticest.DiffProfiles(tree.Profile, bc.Profile))...)
+	}
+	plan := u.PlanProbes()
+	tree, bc := pair("sparse", staticest.RunOptions{
+		Instrumentation: staticest.SparseInstrumentation,
+		Plan:            plan,
+	})
+	if tree == nil {
+		return out
+	}
+	if len(tree.Probes.Counts) != len(bc.Probes.Counts) {
+		fail("sparse probe vector length: tree %d, bytecode %d",
+			len(tree.Probes.Counts), len(bc.Probes.Counts))
+		return out
+	}
+	for i := range tree.Probes.Counts {
+		if tree.Probes.Counts[i] != bc.Probes.Counts[i] {
+			fail("sparse probe %d: tree %g, bytecode %g",
+				i, tree.Probes.Counts[i], bc.Probes.Counts[i])
+		}
+	}
+	if len(tree.Probes.Escapes) != len(bc.Probes.Escapes) {
+		fail("sparse escape count: tree %d, bytecode %d",
+			len(tree.Probes.Escapes), len(bc.Probes.Escapes))
+		return out
+	}
+	for i := range tree.Probes.Escapes {
+		if tree.Probes.Escapes[i] != bc.Probes.Escapes[i] {
+			fail("sparse escape %d: tree %+v, bytecode %+v",
+				i, tree.Probes.Escapes[i], bc.Probes.Escapes[i])
+		}
+	}
+	return out
+}
+
 // ReuseOracle traces one run's memory accesses and checks the
 // stack-distance accounting end to end: the measured histogram mass
 // equals the trace length, the per-reference histograms partition the

@@ -8,7 +8,7 @@ import (
 )
 
 // Oracles names every check Run knows, in execution order.
-var Oracles = []string{"invariants", "sparse", "inline", "reuse", "metamorphic", "ingest", "server"}
+var Oracles = []string{"invariants", "sparse", "bc", "inline", "reuse", "metamorphic", "ingest", "server"}
 
 // Options selects which oracles Run executes.
 type Options struct {
@@ -66,6 +66,9 @@ func Run(name string, src []byte, opt Options) []Failure {
 	}
 	if opt.wants("sparse") {
 		out = append(out, SparseOracle(u)...)
+	}
+	if opt.wants("bc") {
+		out = append(out, BytecodeOracle(u)...)
 	}
 	if opt.wants("inline") {
 		out = append(out, InlineOracle(u)...)

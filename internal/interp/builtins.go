@@ -36,8 +36,8 @@ func (m *Machine) callBuiltin(name string, args []value, call *cast.Call) value 
 	retF := func(v float64) value { return floatValue(v, ctypes.DoubleType) }
 	retP := func(p uint64, t *ctypes.Type) value { return ptrValue(p, t) }
 	void := value{typ: ctypes.VoidType}
-	charPtr := ctypes.PointerTo(ctypes.CharType)
-	voidPtr := ctypes.PointerTo(ctypes.VoidType)
+	charPtr := charPtrType
+	voidPtr := voidPtrType
 
 	need := func(n int) {
 		if len(args) < n {

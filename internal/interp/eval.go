@@ -15,6 +15,13 @@ type value struct {
 	f   float64
 }
 
+// Shared pointer-type singletons: the hot paths (string literals,
+// builtin dispatch, array decay) must not allocate a fresh Type per use.
+var (
+	charPtrType = ctypes.PointerTo(ctypes.CharType)
+	voidPtrType = ctypes.PointerTo(ctypes.VoidType)
+)
+
 func intValue(v int64, t *ctypes.Type) value { return value{typ: t, i: truncInt(v, t)} }
 func floatValue(v float64, t *ctypes.Type) value {
 	if t.Kind == ctypes.Float {
@@ -106,7 +113,7 @@ func (m *Machine) eval(fr *frame, e cast.Expr) value {
 	case *cast.FloatLit:
 		return floatValue(x.Val, x.Type())
 	case *cast.StrLit:
-		return ptrValue(encodePtr(m.strSeg[x.DataIndex], 0), ctypes.PointerTo(ctypes.CharType))
+		return ptrValue(encodePtr(m.strSeg[x.DataIndex], 0), charPtrType)
 	case *cast.Ident:
 		obj := x.Obj
 		if obj.Kind == cast.ObjFunc {

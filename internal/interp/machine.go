@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"staticest/internal/bc"
 	"staticest/internal/cast"
 	"staticest/internal/cfg"
 	"staticest/internal/ctoken"
@@ -133,6 +134,10 @@ type Options struct {
 	// means the default of 16 million); exceeding it is a runtime error,
 	// like an exhausted step budget.
 	MaxMemAccesses int64
+	// Engine selects the execution engine. The zero value is the
+	// bytecode engine; EngineTree forces the reference tree-walking
+	// evaluator. Both produce byte-identical results.
+	Engine Engine
 }
 
 // MemAccess is one traced memory access: the accessed address and the
@@ -202,6 +207,14 @@ type Machine struct {
 	curPos ctoken.Pos
 	depth  int
 
+	// Bytecode-engine state: the module being executed and the operand
+	// stack shared by every activation (each function reserves its
+	// compile-time high-water mark on entry). Nil/empty under the tree
+	// engine.
+	mod    *bc.Module
+	vstack []value
+	vsp    int
+
 	// Observability state (see Options.Obs). calls and builtins are
 	// plain int64 increments on paths that already do far heavier work;
 	// everything else is derived at run end.
@@ -239,6 +252,19 @@ func Run(p *cfg.Program, opts Options) (res *Result, err error) {
 	}()
 	if m.sem.Main == nil {
 		return nil, fmt.Errorf("interp: program has no main function")
+	}
+	if opts.Engine == EngineBytecode {
+		var plan *probes.Plan
+		if m.sparse {
+			plan = m.plan
+		}
+		if mod := lowered(p, plan); mod != nil {
+			// Global initializers run on the tree evaluator under both
+			// engines: they execute outside any function (no counters,
+			// no frame), so the runs stay byte-identical.
+			m.initGlobals()
+			return m.result(m.runBC(mod, opts.Args)), nil
+		}
 	}
 	m.initGlobals()
 	code := m.callMain(opts.Args)
@@ -320,6 +346,10 @@ func newMachine(p *cfg.Program, opts Options) *Machine {
 		m.sparse = true
 		m.plan = opts.Plan
 		m.pv = make([]float64, opts.Plan.NumProbes)
+		// Seed the frame-trace capacity: typical call depths then grow
+		// it rarely, so the per-call append is a bounds check and two
+		// stores, not a reallocation.
+		m.trace = make([]probes.Escape, 0, 256)
 	} else {
 		blocksPerFunc, numSites, numBranches, switchArms := cfg.ProfileShape(p)
 		m.prof = profile.New(blocksPerFunc, numSites, numBranches, switchArms)
@@ -550,8 +580,9 @@ func (m *Machine) localAddr(fr *frame, o *cast.Object) uint64 {
 	return fr.base + uint64(o.FrameOffset)
 }
 
-func (m *Machine) callMain(args []string) int {
-	// Build argv.
+// buildArgv materializes the program's argv in string segments and
+// returns (argc, pointer to the argv array).
+func (m *Machine) buildArgv(args []string) (int64, uint64) {
 	argv := append([]string{"prog"}, args...)
 	ptrs := make([]uint64, len(argv)+1)
 	for i, a := range argv {
@@ -563,12 +594,15 @@ func (m *Machine) callMain(args []string) int {
 	for i, p := range ptrs {
 		binary.LittleEndian.PutUint64(arrData[i*8:], p)
 	}
-	argvPtr := encodePtr(m.newSegment(arrData, segString, "argv[]"), 0)
+	return int64(len(argv)), encodePtr(m.newSegment(arrData, segString, "argv[]"), 0)
+}
 
+func (m *Machine) callMain(args []string) int {
+	argc, argvPtr := m.buildArgv(args)
 	main := m.sem.Main
 	var vals []value
 	if len(main.Params) >= 1 {
-		vals = append(vals, value{typ: ctypes.IntType, i: int64(len(argv))})
+		vals = append(vals, value{typ: ctypes.IntType, i: argc})
 	}
 	if len(main.Params) >= 2 {
 		vals = append(vals, value{

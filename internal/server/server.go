@@ -71,6 +71,11 @@ type Config struct {
 	// MaxSteps bounds each served interpreter run's block executions
 	// (default 50 million; the interpreter's own default is 200M).
 	MaxSteps int64
+	// Engine selects the interpreter engine for served runs. The zero
+	// value is the bytecode engine; staticest.EngineTree forces the
+	// reference tree-walking evaluator (an escape hatch for comparing
+	// engines over HTTP — both produce byte-identical responses).
+	Engine staticest.Engine
 	// SlowRingSize bounds the ring of slowest requests whose span trees
 	// are retained for GET /v1/debug/slow (default 16).
 	SlowRingSize int

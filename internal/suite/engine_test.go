@@ -1,0 +1,231 @@
+package suite
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"staticest"
+)
+
+// runBoth executes the same run under the tree-walking reference
+// evaluator and the bytecode engine and fails the test unless every
+// observable — exit code, output bytes, step count, full profile,
+// sparse probe vector, escape list, memory trace — is identical.
+func runBoth(t *testing.T, u *staticest.Unit, label string, opts staticest.RunOptions) {
+	t.Helper()
+	opts.Engine = staticest.EngineTree
+	tree, err := u.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: tree engine: %v", label, err)
+	}
+	opts.Engine = staticest.EngineBytecode
+	bc, err := u.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: bytecode engine: %v", label, err)
+	}
+	if tree.ExitCode != bc.ExitCode {
+		t.Errorf("%s: exit code: tree %d, bytecode %d", label, tree.ExitCode, bc.ExitCode)
+	}
+	if !bytes.Equal(tree.Output, bc.Output) {
+		t.Errorf("%s: output differs (tree %d bytes, bytecode %d bytes)",
+			label, len(tree.Output), len(bc.Output))
+	}
+	if tree.Steps != bc.Steps {
+		t.Errorf("%s: steps: tree %d, bytecode %d", label, tree.Steps, bc.Steps)
+	}
+	switch {
+	case tree.Profile != nil && bc.Profile != nil:
+		for _, d := range staticest.DiffProfiles(tree.Profile, bc.Profile) {
+			t.Errorf("%s: profile: %s", label, d)
+		}
+	case tree.Probes != nil && bc.Probes != nil:
+		if len(tree.Probes.Counts) != len(bc.Probes.Counts) {
+			t.Fatalf("%s: probe vector length: tree %d, bytecode %d",
+				label, len(tree.Probes.Counts), len(bc.Probes.Counts))
+		}
+		for i := range tree.Probes.Counts {
+			if tree.Probes.Counts[i] != bc.Probes.Counts[i] {
+				t.Errorf("%s: probe %d: tree %g, bytecode %g",
+					label, i, tree.Probes.Counts[i], bc.Probes.Counts[i])
+			}
+		}
+		if len(tree.Probes.Escapes) != len(bc.Probes.Escapes) {
+			t.Fatalf("%s: escape count: tree %d, bytecode %d",
+				label, len(tree.Probes.Escapes), len(bc.Probes.Escapes))
+		}
+		for i := range tree.Probes.Escapes {
+			if tree.Probes.Escapes[i] != bc.Probes.Escapes[i] {
+				t.Errorf("%s: escape %d: tree %+v, bytecode %+v",
+					label, i, tree.Probes.Escapes[i], bc.Probes.Escapes[i])
+			}
+		}
+	default:
+		t.Errorf("%s: result shape differs: tree profile=%v probes=%v, bytecode profile=%v probes=%v",
+			label, tree.Profile != nil, tree.Probes != nil, bc.Profile != nil, bc.Probes != nil)
+	}
+	if len(tree.MemTrace) != len(bc.MemTrace) {
+		t.Fatalf("%s: memory trace length: tree %d, bytecode %d",
+			label, len(tree.MemTrace), len(bc.MemTrace))
+	}
+	for i := range tree.MemTrace {
+		if tree.MemTrace[i] != bc.MemTrace[i] {
+			t.Fatalf("%s: memory trace entry %d: tree %+v, bytecode %+v",
+				label, i, tree.MemTrace[i], bc.MemTrace[i])
+		}
+	}
+}
+
+// TestEngineDifferential is the bytecode engine's ground truth: on every
+// suite program and every input, the bytecode lowering must reproduce
+// the tree-walking evaluator's observable behaviour exactly — full
+// profiles, sparse probe vectors with exit() escape lists, and memory
+// traces included.
+func TestEngineDifferential(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			u, err := p.CompileCached()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			plan := u.PlanProbes()
+			refs := u.ReuseTable().RefIndex()
+			inputs := p.Inputs
+			if p.TimingInput != nil {
+				inputs = append(append([]Input{}, inputs...), *p.TimingInput)
+			}
+			for _, in := range inputs {
+				runBoth(t, u, in.Name+"/full", staticest.RunOptions{
+					Args: in.Args, Stdin: in.Stdin,
+				})
+				runBoth(t, u, in.Name+"/sparse", staticest.RunOptions{
+					Args: in.Args, Stdin: in.Stdin,
+					Instrumentation: staticest.SparseInstrumentation,
+					Plan:            plan,
+				})
+			}
+			// Memory tracing on one input is enough per program: the trace
+			// hook sites are static, so one traced run exercises them all.
+			in := inputs[0]
+			runBoth(t, u, in.Name+"/traced", staticest.RunOptions{
+				Args: in.Args, Stdin: in.Stdin, MemRefs: refs,
+			})
+		})
+	}
+}
+
+// TestEngineStepCap checks that the step budget trips identically on
+// both engines: same error, same accounting.
+func TestEngineStepCap(t *testing.T) {
+	p := Compress()
+	u, err := p.CompileCached()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := p.Inputs[0]
+	for _, eng := range []staticest.Engine{staticest.EngineTree, staticest.EngineBytecode} {
+		_, err := u.Run(staticest.RunOptions{
+			Args: in.Args, Stdin: in.Stdin, MaxSteps: 1000, Engine: eng,
+		})
+		if err == nil {
+			t.Fatalf("engine %d: step cap 1000 did not trip", eng)
+		}
+	}
+}
+
+// TestSparseNotSlower is the paper's economic claim carried through the
+// bytecode engine: on every suite program, sparse instrumentation (the
+// optimal probe placement) must not run slower than full
+// instrumentation. Machine noise on shared runners dwarfs the real gap,
+// so the measurement is paired and order-balanced — alternating
+// full/sparse runs, best-of-N on each side — with a tolerance and a
+// retry before declaring a regression. The precise regression detector
+// is the bench-gate CI job; this test pins the direction.
+func TestSparseNotSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short mode")
+	}
+	const (
+		pairs     = 5
+		tolerance = 1.10
+		attempts  = 4
+	)
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			u, err := p.CompileCached()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			plan := u.PlanProbes()
+			in := heaviestInput(t, u, p)
+			fullOpts := staticest.RunOptions{Args: in.Args, Stdin: in.Stdin}
+			sparseOpts := staticest.RunOptions{
+				Args: in.Args, Stdin: in.Stdin,
+				Instrumentation: staticest.SparseInstrumentation,
+				Plan:            plan,
+			}
+			reps := 1
+			run := func(opts staticest.RunOptions) time.Duration {
+				start := time.Now()
+				for r := 0; r < reps; r++ {
+					if _, err := u.Run(opts); err != nil {
+						t.Fatalf("input %s: %v", in.Name, err)
+					}
+				}
+				return time.Since(start)
+			}
+			// Warm up both lowerings so compile cost stays out of the
+			// timing, and batch short programs so each sample is long
+			// enough to resolve above timer and scheduler noise.
+			single := run(fullOpts)
+			run(sparseOpts)
+			for reps < 8 && time.Duration(reps)*single < 10*time.Millisecond {
+				reps++
+			}
+			var lastFull, lastSparse time.Duration
+			for attempt := 1; attempt <= attempts; attempt++ {
+				// Flush garbage from earlier tests (and earlier attempts)
+				// so a collection doesn't land inside one side's samples.
+				runtime.GC()
+				full, sparse := time.Duration(1<<62), time.Duration(1<<62)
+				for i := 0; i < pairs; i++ {
+					if i%2 == 0 {
+						full = min(full, run(fullOpts))
+						sparse = min(sparse, run(sparseOpts))
+					} else {
+						sparse = min(sparse, run(sparseOpts))
+						full = min(full, run(fullOpts))
+					}
+				}
+				lastFull, lastSparse = full, sparse
+				if float64(sparse) <= float64(full)*tolerance {
+					return
+				}
+			}
+			t.Errorf("sparse %v slower than full %v (best of %d pairs, %d attempts, tolerance %.0f%%)",
+				lastSparse, lastFull, pairs, attempts, (tolerance-1)*100)
+		})
+	}
+}
+
+// heaviestInput picks the program input executing the most blocks, so
+// the timing comparison runs long enough to resolve above timer and
+// scheduler noise.
+func heaviestInput(t *testing.T, u *staticest.Unit, p *Program) Input {
+	t.Helper()
+	best, bestSteps := p.Inputs[0], int64(-1)
+	for _, in := range p.Inputs {
+		res, err := u.Run(staticest.RunOptions{Args: in.Args, Stdin: in.Stdin})
+		if err != nil {
+			t.Fatalf("input %s: %v", in.Name, err)
+		}
+		if res.Steps > bestSteps {
+			best, bestSteps = in, res.Steps
+		}
+	}
+	return best
+}

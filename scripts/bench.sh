@@ -8,22 +8,44 @@
 #                      including p50/p99/p999 tail latency reported by
 #                      the benchmarks as custom p*-ns metrics
 #
+# Alongside each JSON snapshot the raw `go test -bench` stream is kept
+# as FILE.bench (benchstat / cmd/benchdiff input format; not committed).
+# A failing or silently-skipped benchmark exits non-zero — a truncated
+# snapshot must never look like a healthy one.
+#
 #   scripts/bench.sh                  # smoke run (-benchtime 1x)
 #   BENCH_TIME=2s scripts/bench.sh    # steadier numbers
+#   BENCH_COUNT=6 scripts/bench.sh    # multi-sample (for benchdiff)
 #   BENCH_OUT=- scripts/bench.sh      # interp JSON to stdout
 set -eu
 cd "$(dirname "$0")/.."
 
 benchtime=${BENCH_TIME:-1x}
+benchcount=${BENCH_COUNT:-1}
 
-# bench_json FILTER PKGS... — runs the benchmarks and prints one JSON
-# snapshot of every Benchmark line on stdout (raw output to stderr).
-bench_json() {
+# bench_family FILTER OUT PKGS... — runs one benchmark family and writes
+# the JSON snapshot to OUT ("-" = stdout) plus the raw bench stream to
+# OUT with .json swapped for .bench (skipped when OUT is - or /dev/null).
+bench_family() {
 	filter=$1
-	shift
+	out=$2
+	shift 2
 	raw=$(mktemp)
-	go test -run '^$' -bench "$filter" -benchtime "$benchtime" "$@" | tee "$raw" >&2
-	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+	# Not a pipeline: `go test | tee` would report tee's exit status and
+	# swallow a benchmark failure.
+	if ! go test -run '^$' -bench "$filter" -benchtime "$benchtime" -count "$benchcount" "$@" >"$raw" 2>&1; then
+		cat "$raw" >&2
+		echo "bench.sh: go test -bench '$filter' failed" >&2
+		rm -f "$raw"
+		exit 1
+	fi
+	cat "$raw" >&2
+	if ! grep -q '^Benchmark' "$raw"; then
+		echo "bench.sh: no Benchmark lines matched '$filter'" >&2
+		rm -f "$raw"
+		exit 1
+	fi
+	json=$(awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
 	BEGIN {
 		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
 		n = 0
@@ -40,22 +62,26 @@ bench_json() {
 		}
 		printf "}}"
 	}
-	END { printf "\n  ]\n}\n" }' "$raw"
-	rm -f "$raw"
-}
-
-# emit JSON OUT — writes the snapshot to OUT ("-" = stdout).
-emit() {
-	if [ "$2" = "-" ]; then
-		printf '%s\n' "$1"
+	END { printf "\n  ]\n}\n" }' "$raw")
+	if [ "$out" = "-" ]; then
+		printf '%s\n' "$json"
 	else
-		printf '%s\n' "$1" >"$2"
-		echo "wrote $2" >&2
+		printf '%s\n' "$json" >"$out"
+		echo "wrote $out" >&2
+		case $out in
+		/dev/null) ;;
+		*.json)
+			rawout=${out%.json}.bench
+			cp "$raw" "$rawout"
+			echo "wrote $rawout" >&2
+			;;
+		esac
 	fi
+	rm -f "$raw"
 }
 
 interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|ReuseTrace|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|HistogramObserve'}
 serve_filter=${BENCH_SERVE_FILTER:-'ServeEstimate|^BenchmarkIngest$'}
 
-emit "$(bench_json "$interp_filter" . ./internal/obs)" "${BENCH_OUT:-BENCH_interp.json}"
-emit "$(bench_json "$serve_filter" ./internal/server)" "${BENCH_SERVE_OUT:-BENCH_serve.json}"
+bench_family "$interp_filter" "${BENCH_OUT:-BENCH_interp.json}" . ./internal/obs
+bench_family "$serve_filter" "${BENCH_SERVE_OUT:-BENCH_serve.json}" ./internal/server
