@@ -58,6 +58,7 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	cache := flag.Int("cache", 64, "compiled units kept in the LRU cache")
+	shards := flag.Int("cache-shards", 0, "unit-cache stripe count, rounded up to a power of two (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request wall-clock budget")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	maxBody := flag.Int64("max-body", 4<<20, "request body size cap in bytes")
@@ -101,6 +102,7 @@ func main() {
 
 	s := server.New(server.Config{
 		CacheSize:      *cache,
+		CacheShards:    *shards,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,

@@ -39,7 +39,7 @@ func main() {
 	oracles := flag.String("oracles", "all",
 		"comma-separated oracles to run ("+strings.Join(oracleNames, " ")+")")
 	serverEvery := flag.Int("server-every", 10,
-		"run the server oracle on every k-th program only (1 = all)")
+		"run the server-backed oracles (server, batch) on every k-th program only (1 = all)")
 	outDir := flag.String("out", "testdata/repro", "directory for reproducer files")
 	inject := flag.String("inject", "",
 		"deliberately break an estimator before checking (logical)")

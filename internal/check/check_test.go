@@ -122,6 +122,22 @@ func TestOracleSelection(t *testing.T) {
 	}
 }
 
+// TestBatchOracle runs the batch-vs-sequential equivalence check
+// directly: on a generated program and on a real suite program, a batch
+// response must be byte-identical per item to sequential single calls.
+func TestBatchOracle(t *testing.T) {
+	if fs := check.BatchOracle("batch_gen.c", gen.Source(11)); len(fs) > 0 {
+		t.Errorf("generated program: %v", fs)
+	}
+	p, err := suite.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := check.BatchOracle(p.Name+".c", []byte(p.Source)); len(fs) > 0 {
+		t.Errorf("suite program: %v", fs)
+	}
+}
+
 // TestReuseOracleSuite runs the reuse oracle over suite programs with
 // array accesses, on their real inputs — the measured stack-distance
 // accounting must hold on full-size traces, not just generated toys.

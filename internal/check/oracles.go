@@ -435,3 +435,136 @@ func ServerOracle(name string, src []byte) []Failure {
 	}
 	return out
 }
+
+// BatchOracle is the batch-vs-sequential equivalence check: a
+// POST /v1/batch over N items must return, per item, the exact bytes N
+// individual /v1/estimate calls produce — same payload for successes
+// (byte-identical, not just semantically equal), same status and error
+// message for failures, in request order. The item mix exercises the
+// cold path, a mutated sibling (distinct fingerprint), a compile error
+// (per-item isolation), and a repeat of the first item (the memoized
+// path must serve the same bytes the cold path did).
+func BatchOracle(name string, src []byte) []Failure {
+	var out []Failure
+	fail := func(format string, args ...any) {
+		out = append(out, Failure{Oracle: "batch", Detail: fmt.Sprintf(format, args...)})
+	}
+
+	type item struct {
+		Name   string `json:"name,omitempty"`
+		Source string `json:"source"`
+	}
+	broken := "int main(void { return 0; }"
+	items := []item{
+		{Name: name, Source: string(src)},
+		{Name: "mut_" + name, Source: string(gen.Mutate(src, gen.MutComments))},
+		{Source: broken},
+		{Name: name, Source: string(src)},
+	}
+
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	// Sequential reference: one /v1/estimate call per item, recording
+	// body bytes for successes and (status, message) for failures.
+	type single struct {
+		status int
+		body   []byte
+		errMsg string
+	}
+	singles := make([]single, len(items))
+	for i, it := range items {
+		body, err := json.Marshal(it)
+		if err != nil {
+			fail("marshal item %d: %v", i, err)
+			return out
+		}
+		resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail("POST item %d: %v", i, err)
+			return out
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		singles[i] = single{status: resp.StatusCode, body: b}
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(b, &e); err != nil {
+				fail("item %d: unmarshal error body: %v", i, err)
+				return out
+			}
+			singles[i].errMsg = e.Error
+		}
+	}
+
+	// The batch over the same items, against the same instance (the
+	// per-item cache reuse is part of what is being checked).
+	batchBody, err := json.Marshal(struct {
+		Items []item `json:"items"`
+	}{items})
+	if err != nil {
+		fail("marshal batch: %v", err)
+		return out
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(batchBody))
+	if err != nil {
+		fail("POST batch: %v", err)
+		return out
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("batch status %d: %s", resp.StatusCode, raw)
+		return out
+	}
+	var br struct {
+		Count  int `json:"count"`
+		Errors int `json:"errors"`
+		Items  []struct {
+			Index    int             `json:"index"`
+			Status   int             `json:"status"`
+			Estimate json.RawMessage `json:"estimate"`
+			Error    string          `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(raw, &br); err != nil {
+		fail("unmarshal batch response: %v", err)
+		return out
+	}
+	if br.Count != len(items) || len(br.Items) != len(items) {
+		fail("batch count %d / %d items, want %d", br.Count, len(br.Items), len(items))
+		return out
+	}
+	wantErrs := 0
+	for _, s := range singles {
+		if s.status != http.StatusOK {
+			wantErrs++
+		}
+	}
+	if br.Errors != wantErrs {
+		fail("batch errors = %d, want %d", br.Errors, wantErrs)
+	}
+	for i, bi := range br.Items {
+		if bi.Index != i {
+			fail("item %d: index %d out of order", i, bi.Index)
+			continue
+		}
+		if bi.Status != singles[i].status {
+			fail("item %d: status %d, single call got %d", i, bi.Status, singles[i].status)
+			continue
+		}
+		if bi.Status == http.StatusOK {
+			// The single call's body is the item's estimate plus the
+			// encoder's trailing newline; everything else must match
+			// byte for byte.
+			if !bytes.Equal(append(bytes.Clone(bi.Estimate), '\n'), singles[i].body) {
+				fail("item %d: batch estimate differs from the sequential /v1/estimate body", i)
+			}
+		} else if bi.Error != singles[i].errMsg {
+			fail("item %d: error %q, single call said %q", i, bi.Error, singles[i].errMsg)
+		}
+	}
+	return out
+}

@@ -8,14 +8,15 @@ import (
 )
 
 // Oracles names every check Run knows, in execution order.
-var Oracles = []string{"invariants", "sparse", "bc", "inline", "reuse", "metamorphic", "ingest", "server"}
+var Oracles = []string{"invariants", "sparse", "bc", "inline", "reuse", "metamorphic", "ingest", "server", "batch"}
 
 // Options selects which oracles Run executes.
 type Options struct {
 	// Oracles is the subset to run (nil = all). Names as in Oracles.
 	Oracles []string
-	// ServerEvery runs the (comparatively slow) server oracle only on
-	// every k-th program of a batch; 0 means every program.
+	// ServerEvery runs the (comparatively slow) server-backed oracles
+	// ("server" and "batch") only on every k-th program of a batch; 0
+	// means every program.
 	ServerEvery int
 	// Inject mutates the computed estimates before checking — the
 	// deliberately-broken-estimator hook used to prove the harness can
@@ -85,6 +86,9 @@ func Run(name string, src []byte, opt Options) []Failure {
 	if opt.wants("server") {
 		out = append(out, ServerOracle(name, src)...)
 	}
+	if opt.wants("batch") {
+		out = append(out, BatchOracle(name, src)...)
+	}
 	return out
 }
 
@@ -111,8 +115,15 @@ func RunAll(seed int64, n int, opt Options) []ProgramFailure {
 	for i := 1; i <= n; i++ {
 		src := g.Program()
 		po := opt
-		if opt.ServerEvery > 1 && i%opt.ServerEvery != 0 && po.wants("server") {
-			po.Oracles = without(effectiveOracles(po), "server")
+		if opt.ServerEvery > 1 && i%opt.ServerEvery != 0 {
+			names := effectiveOracles(po)
+			if po.wants("server") {
+				names = without(names, "server")
+			}
+			if po.wants("batch") {
+				names = without(names, "batch")
+			}
+			po.Oracles = names
 		}
 		name := fmt.Sprintf("gen_s%d_p%d.c", seed, i)
 		if fs := Run(name, src, po); len(fs) > 0 {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"math"
 	"net/http"
 	"sort"
@@ -138,6 +139,33 @@ func (s *Server) handleEstimate(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	body, err := s.estimateBody(c, &req)
+	if err != nil {
+		return nil, err
+	}
+	return rawJSON(body), nil
+}
+
+// estimateBody returns the serialized estimate response for one
+// compiled unit under the request's options, memoized per
+// (fingerprint, options) pair: the first request for a shape pays for
+// ranking and marshaling, repeat hits — including batch items — copy
+// bytes. Both /v1/estimate and /v1/batch serve from it, which is what
+// makes a batch item byte-identical to the equivalent single call.
+func (s *Server) estimateBody(c *compiled, req *EstimateRequest) ([]byte, error) {
+	top := 10
+	if req.Top != nil {
+		top = *req.Top
+	}
+	key := fmt.Sprintf("estimate|top=%d|reuse=%t", top, req.Reuse)
+	return c.response(key, func() (any, error) {
+		return buildEstimate(c, top, req.Reuse)
+	})
+}
+
+// buildEstimate computes the estimate response value (the expensive
+// part that c.response memoizes in encoded form).
+func buildEstimate(c *compiled, top int, withReuse bool) (any, error) {
 	est := c.estimates()
 	u := c.unit
 
@@ -179,10 +207,6 @@ func (s *Server) handleEstimate(r *http.Request) (any, error) {
 		}
 		return sites[a].Site < sites[b].Site
 	})
-	top := 10
-	if req.Top != nil {
-		top = *req.Top
-	}
 	if top > 0 && len(sites) > top {
 		sites = sites[:top]
 	}
@@ -190,7 +214,8 @@ func (s *Server) handleEstimate(r *http.Request) (any, error) {
 		sites[i].Rank = i + 1
 	}
 	resp.CallSites = sites
-	if req.Reuse {
+	if withReuse {
+		var err error
 		resp.Reuse, err = reuseReport(c, top)
 		if err != nil {
 			return nil, err

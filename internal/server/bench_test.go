@@ -28,8 +28,8 @@ func reportPercentiles(b *testing.B, h *obs.Histogram) {
 // BenchmarkServeEstimate measures the serving latency of the cache-hit
 // path — the steady state of a long-lived daemon: the unit and its
 // estimates are already cached, so each request pays only routing,
-// middleware, ranking, and JSON marshaling. scripts/bench.sh records it
-// in the BENCH_interp.json trajectory.
+// middleware, and (memoized) response bytes. scripts/bench.sh records
+// it in the BENCH_serve.json trajectory.
 func BenchmarkServeEstimate(b *testing.B) {
 	s := server.New(server.Config{Obs: obs.New()})
 	ts := httptest.NewServer(s.Handler())
@@ -63,6 +63,53 @@ func BenchmarkServeEstimate(b *testing.B) {
 	reportPercentiles(b, lat)
 	o := s.Observer()
 	if miss := o.Counter("server_cache_miss").Value(); miss != 1 {
+		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
+	}
+}
+
+// BenchmarkServeBatch measures the batch endpoint's amortization: one
+// POST /v1/batch with 16 warm items, so the per-request overhead
+// (connection, routing, middleware, semaphore) is paid once for 16
+// estimates. The ns/item metric is the number to compare against
+// BenchmarkServeEstimate's ns/op — the gap is what batching saves.
+// scripts/bench.sh records it in the BENCH_serve.json trajectory.
+func BenchmarkServeBatch(b *testing.B) {
+	const items = 16
+	s := server.New(server.Config{Obs: obs.New()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 16 copies of the same warm source: every item is a cache hit, the
+	// batch analogue of BenchmarkServeEstimate's steady state.
+	item := `{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`
+	body := `{"items":[` + item + strings.Repeat(","+item, items-1) + `]}`
+	do := func() {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	do() // warm the cache: the measured loop is pure cache hits
+	lat := obs.NewHistogram("batch_seconds")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		do()
+		lat.ObserveSince(start)
+	}
+	b.StopTimer()
+	reportPercentiles(b, lat)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*items), "ns/item")
+	if miss := s.Observer().Counter("server_cache_miss").Value(); miss != 1 {
 		b.Fatalf("benchmark left the cache-hit path: %d misses", miss)
 	}
 }

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
+	"encoding/json"
+	"runtime"
 	"sync"
 	"time"
 
@@ -12,10 +15,11 @@ import (
 )
 
 // compiled is one cached compilation: the unit plus lazily-memoized
-// derived artifacts (static estimates, probe plan) that every request
-// for the same source would otherwise recompute. The memoization makes
-// the cache-hit path pure serving: after the first estimate/profile
-// request for a source, later ones only rank and marshal.
+// derived artifacts (static estimates, probe plan, serialized response
+// bodies) that every request for the same source would otherwise
+// recompute. The memoization makes the cache-hit path pure serving:
+// after the first estimate request for a (source, options) pair, later
+// ones only copy bytes.
 type compiled struct {
 	unit        *staticest.Unit
 	fingerprint string
@@ -25,6 +29,28 @@ type compiled struct {
 
 	planOnce sync.Once
 	plan     *probes.Plan
+
+	// memo caches fully-encoded response bodies keyed by an options
+	// string (e.g. "estimate|top=10|reuse=false"). Each entry is
+	// computed exactly once (sync.Once per key) and then served
+	// verbatim, so repeat hits skip both the ranking and the JSON
+	// re-serialization. Bounded by maxMemoBodies per unit; overflow
+	// requests compute without memoizing.
+	memoMu sync.Mutex
+	memo   map[string]*memoBody
+}
+
+// maxMemoBodies bounds the per-unit response memo. The options space is
+// technically unbounded ("top" is an arbitrary int), so past this many
+// distinct shapes the cache stops admitting new keys rather than grow
+// without limit.
+const maxMemoBodies = 16
+
+// memoBody is one memoized response body.
+type memoBody struct {
+	once sync.Once
+	body []byte
+	err  error
 }
 
 // estimates returns the unit's static estimates, computing them on
@@ -41,17 +67,75 @@ func (c *compiled) probePlan() *probes.Plan {
 	return c.plan
 }
 
+// response returns the encoded response body for key, building and
+// encoding it at most once per (unit, key) pair. Build errors are never
+// memoized: the failed key is dropped so a retry recomputes.
+func (c *compiled) response(key string, build func() (any, error)) ([]byte, error) {
+	c.memoMu.Lock()
+	if c.memo == nil {
+		c.memo = make(map[string]*memoBody)
+	}
+	m, ok := c.memo[key]
+	if !ok {
+		if len(c.memo) >= maxMemoBodies {
+			c.memoMu.Unlock()
+			v, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return encodeBody(v)
+		}
+		m = &memoBody{}
+		c.memo[key] = m
+	}
+	c.memoMu.Unlock()
+	m.once.Do(func() {
+		v, err := build()
+		if err == nil {
+			m.body, m.err = encodeBody(v)
+		} else {
+			m.err = err
+		}
+		if m.err != nil {
+			c.memoMu.Lock()
+			delete(c.memo, key)
+			c.memoMu.Unlock()
+		}
+	})
+	return m.body, m.err
+}
+
+// encodeBody serializes a response value exactly the way the api
+// middleware encodes non-memoized responses (two-space indent plus the
+// encoder's trailing newline), so memoized and freshly-encoded replies
+// are byte-identical.
+func encodeBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // unitCache is a bounded LRU of compiled units keyed by source
-// fingerprint, with singleflight deduplication: when N requests for the
-// same uncached source arrive concurrently, exactly one compiles and
-// the other N-1 block on its result. Compile errors are returned to
-// every waiter but never cached — a retry recompiles.
+// fingerprint, striped over N independently-locked shards so concurrent
+// cache hits on different units never serialize on one mutex. The
+// fingerprint is hex SHA-256, so its leading nibbles are uniformly
+// distributed and the shard index is just the fingerprint prefix
+// reduced mod the (power-of-two) shard count.
+//
+// Each shard keeps the original cache's semantics for the keys it owns:
+// LRU eviction against a per-shard bound, and singleflight
+// deduplication — when N requests for the same uncached source arrive
+// concurrently, exactly one compiles and the other N-1 block on its
+// result. Identical fingerprints always land on the same shard, so
+// striping cannot split a flight. Compile errors are returned to every
+// waiter but never cached — a retry recompiles.
 type unitCache struct {
-	mu      sync.Mutex
-	max     int
-	lru     list.List // front = most recently used; values are *compiled
-	byKey   map[string]*list.Element
-	flights map[string]*flight
+	shards []*cacheShard
+	mask   uint32
 
 	// hitSeconds and compileSeconds split get's latency distribution by
 	// path: a cache hit is a map lookup (microseconds), a miss pays for
@@ -59,8 +143,19 @@ type unitCache struct {
 	// miss tail entirely. Flight waiters observe into compileSeconds:
 	// they did not compile, but their latency is compile latency.
 	// Nil histograms (tests building a bare cache) record nothing.
+	// Shared across shards (obs.Histogram is lock-free).
 	hitSeconds     *obs.Histogram
 	compileSeconds *obs.Histogram
+}
+
+// cacheShard is one stripe: a bounded LRU plus the in-flight compiles
+// for the fingerprints it owns.
+type cacheShard struct {
+	mu      sync.Mutex
+	max     int
+	lru     list.List // front = most recently used; values are *compiled
+	byKey   map[string]*list.Element
+	flights map[string]*flight
 }
 
 // flight is one in-progress compile; waiters block on done.
@@ -70,15 +165,70 @@ type flight struct {
 	err  error
 }
 
-func newUnitCache(max int) *unitCache {
+// newUnitCache builds a cache bounded to max units striped over the
+// requested shard count. shards <= 0 picks the next power of two >=
+// GOMAXPROCS; any other value is rounded up to a power of two (the
+// shard index is a mask). The per-shard bound is ceil(max/shards) with
+// a floor of one unit, so the total bound is max rounded up to a
+// multiple of the shard count.
+func newUnitCache(max, shards int) *unitCache {
 	if max < 1 {
 		max = 1
 	}
-	return &unitCache{
-		max:     max,
-		byKey:   make(map[string]*list.Element),
-		flights: make(map[string]*flight),
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
+	n := nextPow2(shards)
+	perShard := (max + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	uc := &unitCache{shards: make([]*cacheShard, n), mask: uint32(n - 1)}
+	for i := range uc.shards {
+		uc.shards[i] = &cacheShard{
+			max:     perShard,
+			byKey:   make(map[string]*list.Element),
+			flights: make(map[string]*flight),
+		}
+	}
+	return uc
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// numShards returns the stripe count.
+func (uc *unitCache) numShards() int { return len(uc.shards) }
+
+// shardFor maps a fingerprint to its stripe by prefix: the first eight
+// hex characters fold into 32 bits, masked down to the shard index.
+// Equal keys always map to the same shard, which is what preserves
+// singleflight under striping. Non-hex bytes (ad-hoc test keys) still
+// spread via their low nibble.
+func (uc *unitCache) shardFor(key string) *cacheShard {
+	var v uint32
+	for i := 0; i < len(key) && i < 8; i++ {
+		v = v<<4 | uint32(hexNibble(key[i]))
+	}
+	return uc.shards[v&uc.mask]
+}
+
+func hexNibble(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10
+	}
+	return c & 0xf
 }
 
 // get returns the cached compilation for key, compiling with compile on
@@ -87,23 +237,24 @@ func newUnitCache(max int) *unitCache {
 // in-flight compile report a hit, because no additional work happened.
 func (uc *unitCache) get(key string, compile func() (*staticest.Unit, error)) (*compiled, bool, error) {
 	start := time.Now()
-	uc.mu.Lock()
-	if el, ok := uc.byKey[key]; ok {
-		uc.lru.MoveToFront(el)
+	sh := uc.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.byKey[key]; ok {
+		sh.lru.MoveToFront(el)
 		c := el.Value.(*compiled)
-		uc.mu.Unlock()
+		sh.mu.Unlock()
 		uc.hitSeconds.ObserveSince(start)
 		return c, false, nil
 	}
-	if f, ok := uc.flights[key]; ok {
-		uc.mu.Unlock()
+	if f, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
 		<-f.done
 		uc.compileSeconds.ObserveSince(start)
 		return f.c, false, f.err
 	}
 	f := &flight{done: make(chan struct{})}
-	uc.flights[key] = f
-	uc.mu.Unlock()
+	sh.flights[key] = f
+	sh.mu.Unlock()
 
 	unit, err := compile()
 	if err == nil {
@@ -111,24 +262,25 @@ func (uc *unitCache) get(key string, compile func() (*staticest.Unit, error)) (*
 	}
 	f.err = err
 
-	uc.mu.Lock()
-	delete(uc.flights, key)
+	sh.mu.Lock()
+	delete(sh.flights, key)
 	if err == nil {
-		uc.insertLocked(key, f.c)
+		sh.insertLocked(key, f.c)
 	}
-	uc.mu.Unlock()
+	sh.mu.Unlock()
 	close(f.done)
 	uc.compileSeconds.ObserveSince(start)
 	return f.c, true, err
 }
 
-// insertLocked adds a fresh entry and evicts from the cold end past max.
-func (uc *unitCache) insertLocked(key string, c *compiled) {
-	uc.byKey[key] = uc.lru.PushFront(c)
-	for uc.lru.Len() > uc.max {
-		el := uc.lru.Back()
-		uc.lru.Remove(el)
-		delete(uc.byKey, el.Value.(*compiled).fingerprint)
+// insertLocked adds a fresh entry and evicts from the cold end past the
+// shard's bound.
+func (sh *cacheShard) insertLocked(key string, c *compiled) {
+	sh.byKey[key] = sh.lru.PushFront(c)
+	for sh.lru.Len() > sh.max {
+		el := sh.lru.Back()
+		sh.lru.Remove(el)
+		delete(sh.byKey, el.Value.(*compiled).fingerprint)
 	}
 }
 
@@ -137,18 +289,23 @@ func (uc *unitCache) insertLocked(key string, c *compiled) {
 // (profile ingest) use it: they can only refer to sources the server
 // has already seen.
 func (uc *unitCache) lookup(key string) (*compiled, bool) {
-	uc.mu.Lock()
-	defer uc.mu.Unlock()
-	if el, ok := uc.byKey[key]; ok {
-		uc.lru.MoveToFront(el)
+	sh := uc.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byKey[key]; ok {
+		sh.lru.MoveToFront(el)
 		return el.Value.(*compiled), true
 	}
 	return nil, false
 }
 
-// len returns the number of cached units.
+// len returns the number of cached units across all shards.
 func (uc *unitCache) len() int {
-	uc.mu.Lock()
-	defer uc.mu.Unlock()
-	return uc.lru.Len()
+	n := 0
+	for _, sh := range uc.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }

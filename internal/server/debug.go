@@ -227,11 +227,19 @@ func (s *Server) handleDebugSlow(w http.ResponseWriter, _ *http.Request) {
 // CacheStatus summarizes the compiled-unit cache.
 type CacheStatus struct {
 	Units    int         `json:"units"`
+	Shards   int         `json:"shards"`
 	Hits     int64       `json:"hits"`
 	Misses   int64       `json:"misses"`
 	HitRatio float64     `json:"hit_ratio"`
 	Hit      obs.Summary `json:"hit_seconds"`
 	Compile  obs.Summary `json:"compile_seconds"`
+}
+
+// BatchStatus summarizes the batch endpoint: items served through
+// POST /v1/batch and how many of those yielded per-item errors.
+type BatchStatus struct {
+	Items      int64 `json:"items"`
+	ItemErrors int64 `json:"item_errors"`
 }
 
 // IngestStatus summarizes the PGO ingest path.
@@ -257,6 +265,7 @@ type RuntimeStatus struct {
 type StatusResponse struct {
 	UptimeSeconds float64                `json:"uptime_seconds"`
 	Cache         CacheStatus            `json:"cache"`
+	Batch         BatchStatus            `json:"batch"`
 	Ingest        IngestStatus           `json:"ingest"`
 	Endpoints     map[string]obs.Summary `json:"endpoints"`
 	Runtime       RuntimeStatus          `json:"runtime"`
@@ -273,11 +282,16 @@ func (s *Server) handleDebugStatus(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Cache: CacheStatus{
 			Units:    s.cache.len(),
+			Shards:   s.cache.numShards(),
 			Hits:     hits,
 			Misses:   misses,
 			HitRatio: ratio,
 			Hit:      s.cache.hitSeconds.Summarize(),
 			Compile:  s.cache.compileSeconds.Summarize(),
+		},
+		Batch: BatchStatus{
+			Items:      s.batchItems.Value(),
+			ItemErrors: s.batchItemErrors.Value(),
 		},
 		Ingest: IngestStatus{
 			Units:   s.ingest.Len(),

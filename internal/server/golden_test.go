@@ -33,39 +33,57 @@ func TestGoldenEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A three-item mixed batch: a valid inline source, a compile error
+	// (dropped paren), and a suite program — pinning per-item error
+	// isolation and index ordering in one golden.
+	batchMixed := `{"items":[` +
+		`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `},` +
+		`{"source":"int main(void { return 0; }"},` +
+		`{"program":"compress","top":3}` +
+		`]}`
+	oversize := `{"items":[` +
+		strings.Repeat(`{"source":"int main(void){return 0;}"},`, 256) +
+		`{"source":"int main(void){return 0;}"}]}`
+
 	cases := []struct {
 		name   string
 		method string
 		path   string
 		body   string
+		status int // expected response status; 0 means 200
 	}{
 		{"estimate_strchr", "POST", "/v1/estimate",
-			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`},
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`, 0},
 		{"estimate_reuse_compress", "POST", "/v1/estimate",
-			`{"program":"compress","top":5,"reuse":true}`},
+			`{"program":"compress","top":5,"reuse":true}`, 0},
 		{"profile_full_strchr", "POST", "/v1/profile",
-			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`},
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `}`, 0},
 		{"profile_sparse_strchr", "POST", "/v1/profile",
-			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"instrumentation":"sparse"}`},
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"instrumentation":"sparse"}`, 0},
 		{"optimize_inline_strchr", "POST", "/v1/optimize",
-			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"reports":["inline"]}`},
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"reports":["inline"]}`, 0},
 		{"optimize_compress", "POST", "/v1/optimize",
-			`{"program":"compress","freq_source":"smart","budget":32}`},
-		{"explain_compress", "GET", "/v1/explain?program=compress&top=5", ""},
+			`{"program":"compress","freq_source":"smart","budget":32}`, 0},
+		{"explain_compress", "GET", "/v1/explain?program=compress&top=5", "", 0},
 		// The PGO loop, in order: two uploads, the stats view with
 		// agreement rows, then optimize serving from the live aggregate
 		// (and the static fallback for a cold fingerprint).
 		{"ingest_strchr", "POST", "/v1/profiles/ingest",
 			`{"name":"strchr.c","source":` + jsonString(strchrSrc) +
-				`,"upload_id":"g1","label":"run1","counts":` + string(counts) + `}`},
+				`,"upload_id":"g1","label":"run1","counts":` + string(counts) + `}`, 0},
 		{"ingest_strchr_again", "POST", "/v1/profiles/ingest",
-			`{"fingerprint":"` + fp + `","upload_id":"g2","label":"run2","counts":` + string(counts) + `}`},
-		{"stats_list", "GET", "/v1/profiles/stats", ""},
-		{"stats_strchr_agreement", "GET", "/v1/profiles/stats?fingerprint=" + fp + "&agreement=1", ""},
+			`{"fingerprint":"` + fp + `","upload_id":"g2","label":"run2","counts":` + string(counts) + `}`, 0},
+		{"stats_list", "GET", "/v1/profiles/stats", "", 0},
+		{"stats_strchr_agreement", "GET", "/v1/profiles/stats?fingerprint=" + fp + "&agreement=1", "", 0},
 		{"optimize_live_strchr", "POST", "/v1/optimize",
-			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"freq_source":"live","reports":["inline"]}`},
+			`{"name":"strchr.c","source":` + jsonString(strchrSrc) + `,"freq_source":"live","reports":["inline"]}`, 0},
 		{"optimize_live_cold_compress", "POST", "/v1/optimize",
-			`{"program":"compress","freq_source":"live","reports":["inline"]}`},
+			`{"program":"compress","freq_source":"live","reports":["inline"]}`, 0},
+		// Batch estimation: the mixed batch pins ordering and per-item
+		// error isolation; the edge cases pin the whole-batch failures.
+		{"batch_mixed", "POST", "/v1/batch", batchMixed, 0},
+		{"batch_empty", "POST", "/v1/batch", `{"items":[]}`, http.StatusUnprocessableEntity},
+		{"batch_oversize", "POST", "/v1/batch", oversize, http.StatusRequestEntityTooLarge},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -85,8 +103,12 @@ func TestGoldenEndpoints(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			want := tc.status
+			if want == 0 {
+				want = http.StatusOK
+			}
+			if resp.StatusCode != want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, want, got)
 			}
 			checkGolden(t, tc.name+".json", got)
 		})

@@ -50,6 +50,14 @@ import (
 type Config struct {
 	// CacheSize bounds the compiled-unit LRU (default 64 units).
 	CacheSize int
+	// CacheShards stripes the unit cache over independently-locked LRU
+	// shards. Values are rounded up to a power of two; <= 0 picks the
+	// next power of two >= GOMAXPROCS. One shard reproduces the old
+	// single-mutex cache exactly.
+	CacheShards int
+	// MaxBatchItems caps the item count of one POST /v1/batch request;
+	// larger batches get 413 (default 256).
+	MaxBatchItems int
 	// MaxBodyBytes caps request bodies (default 4 MiB — the largest
 	// suite source is well under 1 MiB).
 	MaxBodyBytes int64
@@ -93,6 +101,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 64
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
@@ -145,6 +156,9 @@ type Server struct {
 	inflight *obs.Gauge
 	shed     *obs.Counter
 
+	batchItems      *obs.Counter
+	batchItemErrors *obs.Counter
+
 	// endpoints lists the API endpoint names in registration order;
 	// /v1/debug/status walks it to summarize the per-endpoint latency
 	// histograms. Written only during New.
@@ -159,7 +173,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		obs:      cfg.Obs,
-		cache:    newUnitCache(cfg.CacheSize),
+		cache:    newUnitCache(cfg.CacheSize, cfg.CacheShards),
 		ingest:   ingest.NewStore(cfg.Obs),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		mux:      http.NewServeMux(),
@@ -167,14 +181,18 @@ func New(cfg Config) *Server {
 		misses:   cfg.Obs.Counter("server_cache_miss"),
 		inflight: cfg.Obs.Gauge("server_inflight"),
 		shed:     cfg.Obs.Counter("server_shed_total"),
-		slow:     newSlowRing(cfg.SlowRingSize),
-		started:  time.Now(),
+
+		batchItems:      cfg.Obs.Counter("server_batch_items_total"),
+		batchItemErrors: cfg.Obs.Counter("server_batch_item_errors_total"),
+		slow:            newSlowRing(cfg.SlowRingSize),
+		started:         time.Now(),
 	}
 	s.cache.hitSeconds = cfg.Obs.Histogram("server_cache_hit_seconds")
 	s.cache.compileSeconds = cfg.Obs.Histogram("server_compile_seconds")
 	s.sampleRuntime()
 
 	s.mux.Handle("POST /v1/estimate", s.api("estimate", s.handleEstimate))
+	s.mux.Handle("POST /v1/batch", s.api("batch", s.handleBatch))
 	s.mux.Handle("POST /v1/profile", s.api("profile", s.handleProfile))
 	s.mux.Handle("POST /v1/optimize", s.api("optimize", s.handleOptimize))
 	s.mux.Handle("GET /v1/explain", s.api("explain", s.handleExplain))
@@ -245,6 +263,12 @@ func errConflict(format string, args ...any) error {
 // apiHandler computes one endpoint's response value; the middleware in
 // api handles decoding limits, timeouts, recovery, and encoding.
 type apiHandler func(r *http.Request) (any, error)
+
+// rawJSON is a pre-encoded response body. A handler returning one tells
+// the api middleware to write the bytes verbatim instead of re-encoding
+// — the memoized-response path depends on this to serve byte-identical
+// bodies without a serialization pass.
+type rawJSON []byte
 
 // api wraps an endpoint handler in the middleware stack, innermost
 // first: JSON encoding and error mapping, panic-to-500 recovery with
@@ -357,6 +381,12 @@ func (s *Server) api(name string, h apiHandler) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if raw, ok := v.(rawJSON); ok {
+			if _, err := w.Write(raw); err != nil {
+				errorsC.Add(1)
+			}
+			return
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(v); err != nil {

@@ -172,11 +172,14 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
-// TestCacheEviction pins the LRU bound: with a one-unit cache, a second
-// source evicts the first, so re-requesting the first recompiles.
+// TestCacheEviction pins the LRU bound: with a one-unit, one-shard
+// cache, a second source evicts the first, so re-requesting the first
+// recompiles. (CacheShards is pinned to 1 so the two sources contend
+// for the same shard's single slot regardless of GOMAXPROCS; the
+// per-shard bound under striping is covered in cache_test.go.)
 func TestCacheEviction(t *testing.T) {
 	o := obs.New()
-	_, ts := newTestServer(t, server.Config{Obs: o, CacheSize: 1})
+	_, ts := newTestServer(t, server.Config{Obs: o, CacheSize: 1, CacheShards: 1})
 
 	src2 := strings.Replace(strchrSrc, "my_strchr", "my_strchr2", -1)
 	reqA := `{"source":` + jsonString(strchrSrc) + `}`
@@ -212,6 +215,8 @@ func TestRequestErrors(t *testing.T) {
 		{"oversized body", "POST", "/v1/estimate",
 			`{"source":` + jsonString("int main(void){return 0;}"+strings.Repeat(" ", 4096)) + `}`,
 			http.StatusRequestEntityTooLarge},
+		{"batch bad json", "POST", "/v1/batch", `{"items":`, http.StatusBadRequest},
+		{"batch unknown field", "POST", "/v1/batch", `{"item":[]}`, http.StatusBadRequest},
 		{"bad instrumentation", "POST", "/v1/profile",
 			`{"source":"int main(void){return 0;}","instrumentation":"quantum"}`, http.StatusBadRequest},
 		{"input on inline source", "POST", "/v1/profile",

@@ -63,6 +63,16 @@ bench_family() {
 		printf "}}"
 	}
 	END { printf "\n  ]\n}\n" }' "$raw")
+	# Belt and braces on top of the raw-stream grep: never let a snapshot
+	# with zero benchmark entries masquerade as a healthy trajectory point
+	# (a bad filter or a parse regression would otherwise silently write
+	# an empty "benchmarks": [] on a fresh checkout).
+	entries=$(printf '%s\n' "$json" | grep -c '"name":' || true)
+	if [ "$entries" -eq 0 ]; then
+		echo "bench.sh: refusing to write $out: snapshot has zero benchmark entries" >&2
+		rm -f "$raw"
+		exit 1
+	fi
 	if [ "$out" = "-" ]; then
 		printf '%s\n' "$json"
 	else
@@ -81,7 +91,11 @@ bench_family() {
 }
 
 interp_filter=${BENCH_FILTER:-'InterpretCompress|InlineXlisp|ProbeProfiling|ReuseTrace|Obs(Disabled|Enabled)|NilObserverSpan|NilCounterAdd|CounterAdd|SpanStartEnd|HistogramObserve'}
-serve_filter=${BENCH_SERVE_FILTER:-'ServeEstimate|^BenchmarkIngest$'}
+serve_filter=${BENCH_SERVE_FILTER:-'ServeEstimate|ServeBatch|^BenchmarkIngest$'}
+# The serve family runs at GOMAXPROCS 8 so the parallel cache-scaling
+# benchmarks (ServeEstimateParallel) actually fan out; serial serve
+# benchmarks are single-request loops and are unaffected by extra Ps.
+serve_cpu=${BENCH_SERVE_CPU:-8}
 
 bench_family "$interp_filter" "${BENCH_OUT:-BENCH_interp.json}" . ./internal/obs
-bench_family "$serve_filter" "${BENCH_SERVE_OUT:-BENCH_serve.json}" ./internal/server
+bench_family "$serve_filter" "${BENCH_SERVE_OUT:-BENCH_serve.json}" -cpu "$serve_cpu" ./internal/server

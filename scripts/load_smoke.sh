@@ -1,0 +1,59 @@
+#!/bin/sh
+# Load smoke: boots a serve instance and drives it with cmd/loadtest —
+# first the single-request estimate path, then the batch path — at a
+# modest RPS with a mixed cache hit/miss workload. loadtest itself
+# enforces the pass criteria: zero 5xx responses, zero transport-level
+# failures, and a p99 under a deliberately generous bound (this is a
+# smoke on shared CI runners, not a latency SLO). The server is shut
+# down with SIGTERM afterwards, so the drain path runs too.
+#
+#   scripts/load_smoke.sh                      # ~20s of load
+#   LOAD_DURATION=60s LOAD_RPS=200 scripts/load_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+addr=${LOAD_ADDR:-localhost:8098}
+duration=${LOAD_DURATION:-10s}
+rps=${LOAD_RPS:-40}
+max_p99=${LOAD_MAX_P99:-5s}
+
+bin=$(mktemp -d)
+serve_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/serve" ./cmd/serve
+go build -o "$bin/loadtest" ./cmd/loadtest
+
+"$bin/serve" -addr "$addr" &
+serve_pid=$!
+
+ok=""
+for _ in $(seq 1 100); do
+	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "load_smoke: serve never became healthy on $addr" >&2; exit 1; }
+
+# Phase 1: single-request estimates, 90% hot.
+"$bin/loadtest" -addr "$addr" -duration "$duration" -rps "$rps" \
+	-hit 0.9 -j 4 -max-p99 "$max_p99"
+
+# Phase 2: the batch path, 8 items per request against the now-warm
+# cache (a different seed adds fresh cold compiles to the mix).
+"$bin/loadtest" -addr "$addr" -duration "$duration" -rps 10 \
+	-hit 0.8 -batch 8 -j 2 -seed 2 -max-p99 "$max_p99"
+
+echo "load_smoke: final health: $(curl -s "http://$addr/healthz")" >&2
+
+# Graceful drain: SIGTERM must exit cleanly.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+echo "load_smoke: OK (clean drain)" >&2
